@@ -1,0 +1,27 @@
+# Convenience targets for the SenseDroid reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report: bench
+	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results REPORT.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one figure/table of the paper (or one claim made
+in its text) and reports the series three ways:
+
+- printed to stdout (visible with ``pytest -s`` or on failure),
+- attached to the pytest-benchmark record via ``extra_info``,
+- written to ``benchmarks/results/<experiment_id>.txt`` so the numbers
+  survive the run and EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_series(
+    experiment_id: str,
+    title: str,
+    header: list[str],
+    rows: list[list],
+    notes: str = "",
+) -> str:
+    """Format, print and persist one experiment's series.
+
+    Returns the formatted table (useful for assertions on shape).
+    """
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [f"== {experiment_id}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+        )
+    if notes:
+        lines.append(f"-- {notes}")
+    table = "\n".join(lines)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(table + "\n")
+    return table
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,77 @@
+"""ABL-K — the optimal-K trade-off (epsilon_a vs epsilon_c vs epsilon_m).
+
+Paper Section 4: "once we have fixed M, increasing K will in general
+increase the reconstruction error epsilon_c (worse conditioning) and
+decrease the approximation error epsilon_a (better approximation).
+Therefore, we should pick an optimal K such that the sum epsilon is
+minimal."
+
+This bench sweeps K at fixed M on a compressible (not exactly sparse)
+field with measurement noise, prints the decomposition, and checks the
+U-shape: the total-error-minimising K is interior, epsilon_a decreases
+monotonically, and conditioning degrades as K approaches M.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.basis import dct_basis
+from repro.core.sampling import random_locations
+from repro.core.sparsity import error_decomposition, select_optimal_k
+
+from _util import record_series
+
+N, M = 128, 40
+
+
+def _problem(seed=0):
+    rng = np.random.default_rng(seed)
+    phi = dct_basis(N)
+    # Compressible spectrum: power-law decay, so truncation always costs
+    # something and the epsilon_a / epsilon_c tension is real.
+    alpha = rng.standard_normal(N) * (np.arange(1, N + 1) ** -1.2)
+    x = phi @ alpha
+    loc = random_locations(N, M, rng)
+    noise = rng.standard_normal(M) * 0.02
+    return x, phi, loc, noise
+
+
+def test_k_selection_tradeoff(benchmark):
+    x, phi, loc, noise = _problem()
+    best_k, budgets = select_optimal_k(x, phi, loc, noise)
+
+    rows = [
+        [
+            b.k,
+            b.approximation,
+            b.conditioning,
+            b.noise,
+            b.total,
+            b.condition_number,
+        ]
+        for b in budgets
+        if b.k in (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 39, 40)
+    ]
+
+    # epsilon_a monotonically non-increasing in K.
+    eps_a = [b.approximation for b in budgets]
+    assert all(b <= a + 1e-12 for a, b in zip(eps_a, eps_a[1:]))
+    # Conditioning explodes as K -> M.
+    assert budgets[-1].condition_number > 10 * budgets[3].condition_number
+    # The optimum is interior: neither K=1 nor K=M.
+    assert 1 < best_k < M
+    # And it beats both extremes by a real margin.
+    totals = {b.k: b.total for b in budgets}
+    assert totals[best_k] < totals[1]
+    assert totals[best_k] < totals[M]
+
+    record_series(
+        "ABL-K",
+        f"error decomposition vs K at fixed M={M} (optimal K = {best_k})",
+        ["K", "eps_a", "eps_c", "eps_m", "eps_total", "cond(Phi_K)"],
+        rows,
+        notes="paper: pick K minimising eps = eps_a + eps_c + eps_m",
+    )
+
+    benchmark(lambda: error_decomposition(x, phi, loc, noise, k=best_k))

@@ -1,0 +1,133 @@
+"""CLM-INCENT — comparative study of incentive mechanisms (Section 5, [6]).
+
+The paper: "A comparative study of different incentive mechanisms for a
+client to motivate the collaboration of smartphone users ... is
+evaluated in [6]" and lists recruitment [21], second-price auctions [4]
+and reverse auctions with dynamic price [9].  This bench runs all three
+over the same market — 20 candidate phones with private costs and
+quality/coverage attributes, procuring 6 readings per round for 30
+rounds — and reports buyer cost, seller participation breadth, and the
+average quality of procured readings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.middleware.incentives import (
+    Bid,
+    Candidate,
+    RecruitmentSelector,
+    ReverseAuction,
+    second_price_auction,
+)
+
+from _util import record_series
+
+ROUNDS = 30
+K_PER_ROUND = 6
+POPULATION = 20
+
+
+def _market(seed=0):
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.5, 3.0, POPULATION)
+    quality = rng.uniform(0.5, 2.0, POPULATION)
+    coverage = rng.uniform(0.3, 1.0, POPULATION)
+    names = [f"ph{i}" for i in range(POPULATION)]
+    return names, costs, quality, coverage
+
+
+def test_incentive_mechanism_comparison(benchmark):
+    names, costs, quality, coverage = _market()
+    quality_by_name = dict(zip(names, quality))
+    rng = np.random.default_rng(1)
+
+    # --- reverse auction with participation credit (RADP-VPC, [9]) ----
+    auction = ReverseAuction(credit_per_loss=0.2)
+    ra_cost = 0.0
+    ra_sellers: set[str] = set()
+    ra_quality = []
+    for _ in range(ROUNDS):
+        bids = [
+            Bid(n, float(c * rng.uniform(0.95, 1.05)))
+            for n, c in zip(names, costs)
+        ]
+        result = auction.run_round(bids, k=K_PER_ROUND)
+        ra_cost += result.total_cost
+        ra_sellers.update(result.winners)
+        ra_quality.extend(quality_by_name[w] for w in result.winners)
+
+    # --- repeated second-price auctions, one task at a time [4] --------
+    sp_cost = 0.0
+    sp_sellers: set[str] = set()
+    sp_quality = []
+    for _ in range(ROUNDS):
+        remaining = list(zip(names, costs))
+        for _ in range(K_PER_ROUND):
+            bids = [
+                Bid(n, float(c * rng.uniform(0.95, 1.05)))
+                for n, c in remaining
+            ]
+            result = second_price_auction(bids)
+            winner = result.winners[0]
+            sp_cost += result.total_cost
+            sp_sellers.add(winner)
+            sp_quality.append(quality_by_name[winner])
+            remaining = [(n, c) for n, c in remaining if n != winner]
+
+    # --- recruitment framework (fixed roster) [21] ----------------------
+    selector = RecruitmentSelector(quality_weight=1.0, cost_weight=1.0)
+    candidates = [
+        Candidate(n, coverage=float(cov), quality=float(q), cost=float(c))
+        for n, c, q, cov in zip(names, costs, quality, coverage)
+    ]
+    roster = selector.select(candidates, k=K_PER_ROUND)
+    rec_cost = ROUNDS * sum(c.cost for c in roster)
+    rec_sellers = {c.node_id for c in roster}
+    rec_quality = [c.quality for c in roster] * ROUNDS
+
+    rows = [
+        [
+            "reverse auction (RADP-VPC)",
+            round(ra_cost, 1),
+            len(ra_sellers),
+            round(float(np.mean(ra_quality)), 3),
+        ],
+        [
+            "second-price x K",
+            round(sp_cost, 1),
+            len(sp_sellers),
+            round(float(np.mean(sp_quality)), 3),
+        ],
+        [
+            "recruitment (fixed roster)",
+            round(rec_cost, 1),
+            len(rec_sellers),
+            round(float(np.mean(rec_quality)), 3),
+        ],
+    ]
+
+    # Expected qualitative shape (cf. [6]): auctions procure cheaply but
+    # concentrate on cheap sellers; the VPC credit widens participation
+    # beyond the roster/second-price sets; recruitment can optimise
+    # quality but pays whatever the chosen roster costs.
+    ra_row, sp_row, rec_row = rows
+    assert ra_row[2] >= sp_row[2]  # VPC keeps more sellers engaged
+    assert rec_row[2] == K_PER_ROUND  # fixed roster never rotates
+    assert rec_row[3] >= ra_row[3]  # recruitment buys quality explicitly
+
+    record_series(
+        "CLM-INCENT",
+        f"incentive mechanisms over {ROUNDS} rounds, {K_PER_ROUND}/round "
+        f"from {POPULATION} phones",
+        ["mechanism", "buyer_cost", "distinct_sellers", "mean_quality"],
+        rows,
+        notes="paper Section 5 surveys [4][9][21]; comparison mirrors [6]",
+    )
+
+    benchmark(
+        lambda: ReverseAuction(credit_per_loss=0.2).run_round(
+            [Bid(n, float(c)) for n, c in zip(names, costs)], k=K_PER_ROUND
+        )
+    )

@@ -1,0 +1,93 @@
+"""CLM-MKN — the M = O(K log N) measurement rule.
+
+Paper Section 4: "the solution alpha_K can be almost uniquely determined
+(with a probability nearly equal to 1) from M sampling points, where M
+is in the order of O(K*log(N)) ... Note that M (the number of sensors or
+measurements) is a logarithmic function of N (the number of unknown
+parameters)."
+
+This bench runs the phase-transition sweep: recovery probability of
+K-sparse signals vs M for several (K, N), and verifies that (a) the
+empirical 95%-success M grows with K, (b) it grows only ~logarithmically
+with N, and (c) the packaged ``measurements_for_sparsity`` budget always
+lands in the success region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.basis import dct_basis
+from repro.core.omp import omp
+from repro.core.sampling import random_locations
+from repro.core.sparsity import measurements_for_sparsity
+
+from _util import record_series
+
+TRIALS = 12
+
+
+def _recovery_rate(n: int, k: int, m: int, seed_base: int) -> float:
+    """Fraction of random K-sparse instances exactly recovered by OMP."""
+    phi = dct_basis(n)
+    successes = 0
+    for trial in range(TRIALS):
+        rng = np.random.default_rng(seed_base + trial)
+        support = rng.choice(n, size=k, replace=False)
+        alpha = np.zeros(n)
+        alpha[support] = (
+            rng.uniform(1.0, 2.0, k) * rng.choice([-1.0, 1.0], k)
+        )
+        x = phi @ alpha
+        loc = random_locations(n, m, rng)
+        result = omp(phi[loc, :], x[loc], sparsity=k)
+        rel = np.linalg.norm(result.coefficients - alpha) / np.linalg.norm(alpha)
+        successes += rel < 1e-6
+    return successes / TRIALS
+
+
+def _m_for_success(n: int, k: int, target: float = 0.95) -> int:
+    """Smallest tested M achieving the target recovery rate."""
+    for m in range(k + 1, n + 1, max(k // 2, 1)):
+        if _recovery_rate(n, k, m, seed_base=17 * n + m) >= target:
+            return m
+    return n
+
+
+def test_measurement_scaling(benchmark):
+    rows = []
+    m_star: dict[tuple[int, int], int] = {}
+    for n in (128, 256, 512):
+        for k in (2, 4, 8):
+            m_needed = _m_for_success(n, k)
+            budget = measurements_for_sparsity(k, n)
+            rate_at_budget = _recovery_rate(n, k, budget, seed_base=91 * n)
+            m_star[(n, k)] = m_needed
+            rows.append(
+                [n, k, m_needed, budget, rate_at_budget, round(m_needed / (k * np.log(n)), 2)]
+            )
+
+    # (a) more sparsity needs more measurements at fixed N.
+    assert m_star[(256, 8)] > m_star[(256, 2)]
+    # (b) logarithmic growth in N at fixed K: quadrupling N (128 -> 512)
+    # should far less than quadruple M*.
+    assert m_star[(512, 4)] < 2.5 * max(m_star[(128, 4)], 4)
+    # (c) the packaged budget achieves high-probability recovery.
+    for row in rows:
+        assert row[4] >= 0.9, f"budget under-provisioned at N={row[0]} K={row[1]}"
+
+    record_series(
+        "CLM-MKN",
+        "phase transition: measurements needed for 95% exact recovery",
+        ["N", "K", "M*_95%", "package_budget", "rate_at_budget", "M*/(K lnN)"],
+        rows,
+        notes="paper: M = O(K log N) samples suffice with probability ~1",
+    )
+
+    phi = dct_basis(256)
+    rng = np.random.default_rng(0)
+    alpha = np.zeros(256)
+    alpha[rng.choice(256, 4, replace=False)] = 1.0
+    x = phi @ alpha
+    loc = random_locations(256, measurements_for_sparsity(4, 256), rng)
+    benchmark(lambda: omp(phi[loc, :], x[loc], sparsity=4))

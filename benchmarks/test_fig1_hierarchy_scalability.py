@@ -1,0 +1,122 @@
+"""FIG1 — the multi-tier hierarchy removes the sink bottleneck.
+
+Paper Fig. 1 and Section 3: "the workload of the sink nodes (i.e.
+broker) is distributed among multiple sink nodes in the LCs such that
+all the mobile nodes need not flow the information to a single node to
+overcome network range and scalability bottlenecks."
+
+This bench quantifies that claim: for growing deployments we gather the
+same field (a) *flat* — every reporting node sends to one global sink —
+and (b) *hierarchically* — per-zone NanoCloud brokers aggregate and
+forward compressed coefficients up the tree.  Reported per arm: messages
+handled by the busiest endpoint (the bottleneck), total network bytes,
+and reconstruction error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.fields.generators import urban_temperature_field
+from repro.middleware.config import BrokerConfig, HierarchyConfig
+from repro.middleware.hierarchy import Hierarchy
+from repro.network.bus import MessageBus
+from repro.network.message import Message, MessageKind
+from repro.sensors.base import Environment
+
+from _util import record_series
+
+
+def _flat_gather(n_nodes: int, values_per_node: int = 1) -> tuple[int, int]:
+    """Flat architecture: all nodes report to one sink.
+
+    Returns (busiest endpoint messages, total bytes)."""
+    bus = MessageBus()
+    bus.register("sink")
+    for i in range(n_nodes):
+        bus.register(f"n{i}")
+    for i in range(n_nodes):
+        bus.send(
+            Message(
+                kind=MessageKind.SENSE_REPORT,
+                source=f"n{i}",
+                destination="sink",
+                payload_values=values_per_node,
+            )
+        )
+    busiest = max(
+        bus.endpoint(a).stats.messages for a in bus.addresses
+    )
+    return busiest, bus.stats.bytes
+
+
+def _hierarchical_gather(zones_x: int, zones_y: int, nodes_per_zone: int):
+    """One hierarchical global round; returns (busiest endpoint messages,
+    total bytes, relative error, total nodes)."""
+    width, height = 8 * zones_x, 8 * zones_y
+    truth = urban_temperature_field(width, height, rng=3)
+    env = Environment(fields={"temperature": truth})
+    h = Hierarchy(
+        width,
+        height,
+        config=HierarchyConfig(
+            zones_x=zones_x, zones_y=zones_y,
+            nodes_per_nanocloud=nodes_per_zone,
+        ),
+        broker_config=BrokerConfig(seed=5),
+        rng=11,
+    )
+    h.run_global_round(env)  # warm-up adapts sparsity
+    estimate = h.run_global_round(env, timestamp=1.0)
+    busiest = max(
+        h.bus.endpoint(a).stats.messages for a in h.bus.addresses
+    )
+    err = metrics.relative_error(truth.vector(), estimate.field.vector())
+    return busiest, h.bus.stats.bytes, err, h.n_nodes
+
+
+def test_fig1_sink_bottleneck(benchmark):
+    rows = []
+    flat_busiest_by_nodes = {}
+    for zones_x, zones_y in ((2, 1), (2, 2), (4, 2), (4, 4)):
+        nodes_per_zone = 48
+        busiest_h, bytes_h, err, total_nodes = _hierarchical_gather(
+            zones_x, zones_y, nodes_per_zone
+        )
+        busiest_f, bytes_f = _flat_gather(total_nodes)
+        flat_busiest_by_nodes[total_nodes] = busiest_f
+        rows.append(
+            [
+                total_nodes,
+                zones_x * zones_y,
+                busiest_f,
+                busiest_h,
+                round(busiest_f / busiest_h, 2),
+                bytes_f,
+                bytes_h,
+                err,
+            ]
+        )
+
+    # The paper's claim: flat sink load grows linearly with the fleet;
+    # hierarchical per-broker load stays roughly constant.
+    flat_loads = [row[2] for row in rows]
+    hier_loads = [row[3] for row in rows]
+    assert flat_loads[-1] / flat_loads[0] > 6  # ~linear in N
+    assert hier_loads[-1] / hier_loads[0] < 3  # ~flat per broker
+    assert rows[-1][4] > 2.0  # hierarchy wins at scale
+
+    record_series(
+        "FIG1",
+        "sink bottleneck: flat vs multi-tier hierarchy",
+        [
+            "nodes", "zones", "flat_busiest_msgs", "hier_busiest_msgs",
+            "bottleneck_ratio", "flat_bytes", "hier_bytes", "hier_err",
+        ],
+        rows,
+        notes="flat = all nodes to one sink; hier = NC brokers + LC heads + cloud",
+    )
+
+    benchmark(lambda: _hierarchical_gather(2, 2, 48))

@@ -1,0 +1,115 @@
+"""FIG2 — NanoCloud broker orchestration: command/telemetry round trips.
+
+Paper Fig. 2: the broker "initiates these measurements by commanding and
+telemetering the selected nodes", the NanoCloud "supports bidirectional
+data flow", and "the broker can also use measurement from infrastructure
+sensors in absence of either enough sensor in the mobile nodes or to
+off-load the burden of sensing cost from the mobile nodes".
+
+This bench measures one NanoCloud round at several compression ratios:
+messages exchanged (2M: command + report), bytes, refusal handling and
+infrastructure fallback, plus the downlink dissemination fan-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import metrics
+from repro.fields.generators import smooth_field
+from repro.middleware.config import BrokerConfig
+from repro.middleware.nanocloud import NanoCloud
+from repro.middleware.privacy import PrivacyPolicy
+from repro.network.bus import MessageBus
+from repro.sensors.base import Environment
+from repro.sensors.physical import TemperatureSensor
+
+from _util import record_series
+
+W, H = 12, 8
+N = W * H
+
+
+def _build(seed=3, refusal_fraction=0.0, infra_cells=0):
+    truth = smooth_field(W, H, cutoff=0.15, amplitude=4.0, offset=20.0, rng=0)
+    env = Environment(fields={"temperature": truth})
+    bus = MessageBus()
+    nc = NanoCloud.build(
+        "nc0", bus, W, H, n_nodes=N,
+        config=BrokerConfig(seed=seed), rng=seed,
+    )
+    rng = np.random.default_rng(seed)
+    if refusal_fraction > 0:
+        for node in nc.nodes.values():
+            if rng.random() < refusal_fraction:
+                node.policy = PrivacyPolicy(opted_out=True)
+    for cell in rng.choice(N, size=infra_cells, replace=False):
+        nc.broker.add_infrastructure(int(cell), TemperatureSensor(rng=int(cell)))
+    return truth, env, nc
+
+
+def test_fig2_roundtrip_accounting(benchmark):
+    rows = []
+    for m in (12, 24, 48, 96):
+        truth, env, nc = _build(seed=m)
+        nc.run_round(env, measurements=min(m, N))  # warm-up
+        before_msgs = nc.bus.stats.messages
+        before_bytes = nc.bus.stats.bytes
+        estimate = nc.run_round(env, timestamp=1.0, measurements=min(m, N))
+        msgs = nc.bus.stats.messages - before_msgs
+        transferred = nc.bus.stats.bytes - before_bytes
+        err = metrics.relative_error(truth.vector(), estimate.field.vector())
+        rows.append([estimate.m, msgs, transferred, err])
+
+    # Command + report per measurement: messages == 2 M exactly.
+    for row in rows:
+        assert row[1] == 2 * row[0]
+    # Error decreases with M (Fig. 4's law at zone level).
+    assert rows[-1][3] < rows[0][3]
+
+    record_series(
+        "FIG2a",
+        "NanoCloud round: messages and bytes vs M",
+        ["M", "messages", "bytes", "rel_err"],
+        rows,
+        notes="exactly one SENSE_COMMAND + one SENSE_REPORT per measurement",
+    )
+
+    # Refusals and infrastructure offload.
+    fallback_rows = []
+    for refusal, infra in ((0.0, 0), (0.3, 0), (0.3, N), (1.0, N)):
+        truth, env, nc = _build(seed=7, refusal_fraction=refusal, infra_cells=infra)
+        estimate = nc.run_round(env, measurements=32)
+        err = metrics.relative_error(truth.vector(), estimate.field.vector())
+        fallback_rows.append(
+            [
+                refusal,
+                infra,
+                estimate.reports_ok,
+                estimate.reports_refused,
+                estimate.infra_reads,
+                err,
+            ]
+        )
+    # With full infrastructure coverage, even a fully-refusing crowd
+    # still yields a reconstruction (the paper's offload story).
+    assert fallback_rows[-1][4] > 0
+    assert np.isfinite(fallback_rows[-1][5])
+
+    record_series(
+        "FIG2b",
+        "refusals and infrastructure fallback (M=32)",
+        ["refusal_frac", "infra_cells", "ok", "refused", "infra_reads", "rel_err"],
+        fallback_rows,
+    )
+
+    # Downlink: dissemination reaches every member (bidirectional flow).
+    truth, env, nc = _build(seed=9)
+    sent = nc.broker.disseminate(
+        nc.bus, {"field": "summary"}, payload_values=8, timestamp=2.0
+    )
+    assert sent == nc.n_nodes
+
+    truth, env, nc = _build(seed=11)
+    nc.run_round(env, measurements=32)
+    benchmark(lambda: nc.run_round(env, measurements=32))

@@ -1,0 +1,119 @@
+"""FIG3 — physical probes fused into virtual sensors and context probes.
+
+Paper Fig. 3: SenseDroid "provides individual probes for available
+physical sensors ... and fuse these physical sensors measurements to
+construct more meaningful sensors (e.g. orientation, compass and
+inclinometer sensors)", plus "computationally enabled virtual sensors"
+for contexts.
+
+This bench reports (a) the accuracy of each fused virtual sensor against
+ground truth over many node states, and (b) the accuracy of the virtual
+*context* probes (activity / IsIndoor) built on top of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.context.activity import classify_window
+from repro.context.isindoor import detect_indoor_trace
+from repro.fields.generators import indicator_field
+from repro.sensors.base import Environment, NodeState
+from repro.sensors.physical import accelerometer_window
+from repro.sensors.virtual import (
+    CompassSensor,
+    InclinometerSensor,
+    OrientationSensor,
+)
+
+from _util import record_series
+
+
+def _compass_error(trials=60) -> float:
+    env = Environment()
+    compass = CompassSensor(rng=0)
+    rng = np.random.default_rng(1)
+    errors = []
+    for _ in range(trials):
+        heading = rng.uniform(0, 2 * np.pi)
+        state = NodeState(heading=heading, mode=rng.choice(["idle", "walking"]))
+        measured = compass.read(env, state, 0.0).value
+        delta = np.angle(np.exp(1j * (measured - heading)))
+        errors.append(abs(delta))
+    return float(np.degrees(np.mean(errors)))
+
+
+def _inclinometer_error(trials=60) -> float:
+    env = Environment()
+    inclinometer = InclinometerSensor(rng=2)
+    expected = {"idle": 0.0, "walking": 0.6, "driving": 0.3}
+    rng = np.random.default_rng(3)
+    errors = []
+    for _ in range(trials):
+        mode = rng.choice(list(expected))
+        state = NodeState(mode=mode)
+        measured = inclinometer.read(env, state, 0.0).value
+        errors.append(abs(measured - expected[mode]))
+    return float(np.degrees(np.mean(errors)))
+
+
+def _orientation_error(trials=60) -> float:
+    env = Environment()
+    orientation = OrientationSensor(rng=4)
+    rng = np.random.default_rng(5)
+    errors = []
+    for _ in range(trials):
+        heading = rng.uniform(0, 2 * np.pi)
+        state = NodeState(heading=heading)
+        measured, _, _ = orientation.read_orientation(env, state, 0.0)
+        delta = np.angle(np.exp(1j * (measured - heading)))
+        errors.append(abs(delta))
+    return float(np.degrees(np.mean(errors)))
+
+
+def _activity_accuracy(trials_per_mode=15) -> float:
+    correct = total = 0
+    for mode in ("idle", "walking", "driving"):
+        for seed in range(trials_per_mode):
+            sig = accelerometer_window(mode, 256, rng=seed)
+            correct += classify_window(sig, 32.0).mode == mode
+            total += 1
+    return correct / total
+
+
+def _isindoor_accuracy() -> float:
+    env = Environment(indoor_map=indicator_field(32, 32, n_regions=5, rng=2))
+    rng = np.random.default_rng(6)
+    xs = np.clip(16 + np.cumsum(rng.normal(0, 0.25, 300)), 0, 31)
+    ys = np.clip(16 + np.cumsum(rng.normal(0, 0.25, 300)), 0, 31)
+    states = [NodeState(x=float(x), y=float(y)) for x, y in zip(xs, ys)]
+    return detect_indoor_trace(states, env, duty_cycle=1.0, rng=7).accuracy
+
+
+def test_fig3_virtual_sensor_accuracy(benchmark):
+    rows = [
+        ["compass (fused mag+tilt)", "deg", _compass_error()],
+        ["inclinometer (fused accel)", "deg", _inclinometer_error()],
+        ["orientation (heading)", "deg", _orientation_error()],
+        ["activity context probe", "accuracy", _activity_accuracy()],
+        ["IsIndoor context probe", "accuracy", _isindoor_accuracy()],
+    ]
+
+    assert rows[0][2] < 5.0  # compass within 5 degrees
+    assert rows[1][2] < 3.0
+    assert rows[3][2] > 0.95
+    assert rows[4][2] > 0.85
+
+    record_series(
+        "FIG3",
+        "virtual sensors fused from physical probes",
+        ["virtual sensor", "unit", "mean error / accuracy"],
+        rows,
+        notes="fusion per Fig. 3: mag+accel -> compass/inclinometer; "
+        "accel window -> activity; GPS+WiFi -> IsIndoor",
+    )
+
+    env = Environment()
+    compass = CompassSensor(rng=8)
+    state = NodeState(heading=1.0)
+    benchmark(lambda: compass.read(env, state, 0.0))

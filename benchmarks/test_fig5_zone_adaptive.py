@@ -1,0 +1,148 @@
+"""FIG5 — per-zone compression ratios from local sparsity + criticality.
+
+Paper Fig. 5: "Based on the type of sensing field, the signal sparsity,
+accuracy requirement, the middleware broker decides the compression
+ratio during data aggregation in each zone", enabling "multi-resolution
+compressive thresholds i.e. number of sensing samples collected from a
+region based on the size and importance".
+
+This bench compares, at identical total measurement budgets over a field
+whose zones differ strongly in local sparsity:
+
+- uniform: the budget split evenly across zones (the Luo-style uniform
+  threshold the paper criticises);
+- adaptive: the budget allocated ∝ criticality * K_z log N_z from each
+  zone's local sparsity (the Fig. 5 policy).
+
+Also reported: criticality emphasis — boosting one zone's weight lowers
+*that zone's* error at the expense of the others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import metrics
+from repro.fields.generators import urban_temperature_field
+from repro.fields.zones import ZoneGrid, allocate_measurements
+from repro.middleware.config import BrokerConfig, HierarchyConfig
+from repro.middleware.hierarchy import Hierarchy
+from repro.sensors.base import Environment
+
+from _util import record_series
+
+WIDTH, HEIGHT = 32, 16
+ZX, ZY = 4, 2
+
+
+def _field():
+    """Urban field with strong regional contrast: flat suburbs on the
+    left, heat-island cores on the right."""
+    truth = urban_temperature_field(
+        WIDTH, HEIGHT, gradient=1.0, n_heat_islands=0, rng=0
+    )
+    xs, ys = np.meshgrid(np.arange(WIDTH), np.arange(HEIGHT))
+    grid = truth.grid.copy()
+    for cx, cy, s in ((26.0, 4.0, 1.6), (29.0, 12.0, 2.2), (20.0, 9.0, 1.8)):
+        grid += 8.0 * np.exp(-(((xs - cx) ** 2 + (ys - cy) ** 2) / (2 * s * s)))
+    return type(truth)(grid=grid, name="urban-contrast")
+
+
+def _run(truth, zone_measurements, seed):
+    env = Environment(fields={"temperature": truth})
+    h = Hierarchy(
+        WIDTH, HEIGHT,
+        config=HierarchyConfig(zones_x=ZX, zones_y=ZY, nodes_per_nanocloud=64),
+        broker_config=BrokerConfig(seed=seed),
+        rng=seed,
+        heterogeneous=False,
+    )
+    # Warm-up rounds let every broker adapt its sparsity estimate to its
+    # zone (steady state); the measured round then reflects the policy,
+    # not the cold start.
+    for _ in range(2):
+        h.run_global_round(env, zone_measurements=zone_measurements)
+    estimate = h.run_global_round(
+        env, timestamp=2.0, zone_measurements=zone_measurements
+    )
+    return metrics.relative_error(truth.vector(), estimate.field.vector())
+
+
+def test_fig5_adaptive_allocation(benchmark):
+    truth = _field()
+    zone_grid = ZoneGrid(WIDTH, HEIGHT, ZX, ZY)
+    sparsities = zone_grid.local_sparsities(truth)
+
+    rows = []
+    for budget in (64, 96, 128):
+        uniform = {z.zone_id: budget // len(zone_grid) for z in zone_grid}
+        adaptive = allocate_measurements(zone_grid, sparsities, budget)
+        uniform_errs = [_run(truth, uniform, seed) for seed in range(3)]
+        adaptive_errs = [_run(truth, adaptive, seed) for seed in range(3)]
+        rows.append(
+            [
+                budget,
+                float(np.median(uniform_errs)),
+                float(np.median(adaptive_errs)),
+                min(adaptive.values()),
+                max(adaptive.values()),
+            ]
+        )
+
+    # The paper's hierarchy premise: exploiting local sparsity beats a
+    # uniform threshold at equal budget (clearest when scarce).
+    assert rows[0][2] < rows[0][1]
+    # Adaptive budgets genuinely differ across zones.
+    assert rows[0][4] > rows[0][3]
+
+    record_series(
+        "FIG5a",
+        "zone-adaptive vs uniform measurement allocation (equal budgets)",
+        ["budget", "uniform_err", "adaptive_err", "min_zone_M", "max_zone_M"],
+        rows,
+        notes=f"zone sparsities: {sparsities}",
+    )
+
+    # Criticality emphasis: pump zone 0's weight and watch its error.
+    def zone_error(criticality, zone_id, seed=5):
+        env = Environment(fields={"temperature": truth})
+        h = Hierarchy(
+            WIDTH, HEIGHT,
+            config=HierarchyConfig(
+                zones_x=ZX, zones_y=ZY, nodes_per_nanocloud=64
+            ),
+            broker_config=BrokerConfig(seed=seed),
+            criticality=criticality,
+            rng=seed,
+            heterogeneous=False,
+        )
+        budgets = allocate_measurements(
+            h.zone_grid, sparsities, 96
+        )
+        estimate = h.run_global_round(env, zone_measurements=budgets)
+        zone = h.zone_grid.zones[zone_id]
+        sub_truth = h.zone_grid.extract(truth, zone)
+        return metrics.relative_error(
+            sub_truth.vector(),
+            estimate.zone_results[zone_id].field.vector(),
+        ), budgets[zone_id]
+
+    flat = np.ones((ZY, ZX))
+    boosted = flat.copy()
+    boosted[0, 3] = 8.0  # emphasise the hottest zone (zone id 3)
+    err_flat, m_flat = zone_error(flat, 3)
+    err_boost, m_boost = zone_error(boosted, 3)
+    crit_rows = [
+        ["flat", m_flat, err_flat],
+        ["zone3 x8", m_boost, err_boost],
+    ]
+    assert m_boost >= m_flat  # emphasis buys measurements
+    record_series(
+        "FIG5b",
+        "criticality emphasis on one zone (budget 96)",
+        ["criticality", "zone3_M", "zone3_err"],
+        crit_rows,
+    )
+
+    adaptive = allocate_measurements(zone_grid, sparsities, 96)
+    benchmark(lambda: _run(truth, adaptive, seed=9))

@@ -1,0 +1,152 @@
+"""FIG6 — the Compressive Heterogeneous Sensing algorithm.
+
+Paper Fig. 6 defines the CHS loop (interpolated-residual coefficient
+selection + OLS/GLS refit).  The paper reports no numbers for it, so
+this bench characterises the algorithm against the other solvers the
+paper cites, plus ablations of CHS's own knobs:
+
+- solver shoot-out: CHS vs OMP (eq. 13) vs L1-LP (eqs. 9-10) vs leading-K
+  OLS (eq. 11): error and runtime at the Fig. 4 operating point;
+- step-3a interpolator ablation (zero-fill vs linear vs nearest) on a
+  smooth spatial field and on the high-frequency accelerometer window;
+- step-3c batch-size ablation;
+- OLS vs GLS refit under heterogeneous sensor noise (step 3e).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import metrics
+from repro.core.basis import dct2_basis, dct_basis
+from repro.core.chs import (
+    chs,
+    linear_interpolate,
+    nearest_interpolate,
+    zero_fill_interpolate,
+)
+from repro.core.reconstruction import reconstruct
+from repro.core.sampling import random_locations
+from repro.fields.generators import smooth_field
+from repro.sensors.physical import accelerometer_window
+
+from _util import record_series
+
+
+def _median_err(fn, trials=8):
+    errs = []
+    elapsed = 0.0
+    for seed in range(trials):
+        start = time.perf_counter()
+        errs.append(fn(seed))
+        elapsed += time.perf_counter() - start
+    return float(np.median(errs)), elapsed / trials
+
+
+def test_fig6_solver_shootout(benchmark):
+    n, m = 256, 40
+    phi = dct_basis(n)
+
+    def run(solver):
+        def once(seed):
+            window = accelerometer_window("driving", n, rng=seed)
+            loc = random_locations(n, m, 500 + seed)
+            result = reconstruct(
+                window[loc], loc, phi, solver=solver, sparsity=16
+            )
+            return metrics.relative_error(window, result.x_hat)
+
+        return _median_err(once)
+
+    rows = []
+    for solver in ("chs", "omp", "cosamp", "iht", "l1", "ols"):
+        err, seconds = run(solver)
+        rows.append([solver, err, seconds * 1e3])
+
+    errs = {row[0]: row[1] for row in rows}
+    # Sparse solvers beat the fixed leading-K OLS model on a signal with
+    # high-frequency content (the engine tone lives far above column 16).
+    assert errs["chs"] < errs["ols"]
+    assert errs["omp"] < errs["ols"]
+
+    record_series(
+        "FIG6a",
+        "solver shoot-out on the Fig. 4 window (N=256, M=40, K=16)",
+        ["solver", "median_rel_err", "ms_per_solve"],
+        rows,
+    )
+
+    # --- interpolator ablation (step 3a) --------------------------------
+    interp_rows = []
+    interpolators = {
+        "zero-fill": zero_fill_interpolate,
+        "linear": linear_interpolate,
+        "nearest": nearest_interpolate,
+    }
+    smooth = smooth_field(16, 8, cutoff=0.2, amplitude=4.0, offset=20.0, rng=0)
+    phi_spatial = dct2_basis(16, 8)
+    for name, interp in interpolators.items():
+        def spatial_once(seed, interp=interp):
+            loc = random_locations(smooth.n, 36, 700 + seed)
+            v = smooth.vector()
+            result = chs(
+                phi_spatial, v[loc], loc, max_sparsity=12, interpolator=interp
+            )
+            return metrics.relative_error(v, result.reconstruction)
+
+        def temporal_once(seed, interp=interp):
+            window = accelerometer_window("driving", 256, rng=seed)
+            loc = random_locations(256, 40, 800 + seed)
+            result = chs(
+                dct_basis(256), window[loc], loc, max_sparsity=16,
+                interpolator=interp,
+            )
+            return metrics.relative_error(window, result.reconstruction)
+
+        spatial_err, _ = _median_err(spatial_once)
+        temporal_err, _ = _median_err(temporal_once)
+        interp_rows.append([name, spatial_err, temporal_err])
+
+    by_name = {row[0]: row for row in interp_rows}
+    # Zero-fill is robust on the high-frequency temporal signal where
+    # smooth interpolators alias the engine tone away.
+    assert by_name["zero-fill"][2] < by_name["linear"][2]
+
+    record_series(
+        "FIG6b",
+        "CHS step-3a interpolator ablation",
+        ["interpolator", "smooth_field_err", "accel_window_err"],
+        interp_rows,
+    )
+
+    # --- batch-size ablation (step 3c) -----------------------------------
+    batch_rows = []
+    for batch in (1, 2, 4, 8):
+        def once(seed, batch=batch):
+            window = accelerometer_window("driving", 256, rng=seed)
+            loc = random_locations(256, 40, 900 + seed)
+            result = chs(
+                dct_basis(256), window[loc], loc, max_sparsity=16,
+                batch_size=batch,
+            )
+            return metrics.relative_error(window, result.reconstruction)
+
+        err, seconds = _median_err(once)
+        batch_rows.append([batch, err, seconds * 1e3])
+
+    assert batch_rows[0][1] <= batch_rows[-1][1] * 1.5  # batch=1 never much worse
+
+    record_series(
+        "FIG6c",
+        "CHS step-3c batch-size ablation (N=256, M=40)",
+        ["batch_size", "median_rel_err", "ms_per_solve"],
+        batch_rows,
+    )
+
+    # --- timed kernel ----------------------------------------------------
+    window = accelerometer_window("driving", 256, rng=0)
+    loc = random_locations(256, 40, 7)
+    phi256 = dct_basis(256)
+    benchmark(lambda: chs(phi256, window[loc], loc, max_sparsity=16))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Earthquake response: the IsIndoor flag field as a danger map.
+
+Section 3: "This 'IsIndoor' flag spatial field can be used, for
+instance, during an earthquake to assess the potential dangers to human
+life."  After a quake, knowing *which cells hold people indoors* directs
+search-and-rescue.  This example:
+
+1. crowdsenses the 0/1 indoor-occupancy field compressively (brokers use
+   the Haar basis — the natural sparsity model for flag fields),
+2. thresholds the reconstruction into a danger map and scores it,
+3. ranks zones for rescue priority by estimated trapped-population,
+4. compares against exhaustively polling every phone (the cost the
+   compressive round avoids when networks are damaged and congested).
+
+Run:  python examples/earthquake_response.py
+"""
+
+import numpy as np
+
+from repro.sim import earthquake_scenario
+
+
+def main() -> None:
+    scenario = earthquake_scenario(rng=31)
+    system = scenario.system
+    truth = scenario.truth
+    print(
+        f"city grid {truth.width}x{truth.height}, "
+        f"{system.hierarchy.n_nodes} phones, "
+        f"{truth.grid.mean():.0%} of cells indoors"
+    )
+
+    # Round 1 warms up the per-zone sparsity estimates; round 2 is the
+    # operational sweep.
+    system.sense_field()
+    estimate = system.sense_field()
+    sampled = estimate.total_measurements
+    print(
+        f"\ncompressive sweep: {sampled}/{truth.n} cells polled "
+        f"({sampled / truth.n:.0%}) over damaged networks"
+    )
+
+    danger = (estimate.field.grid > 0.5).astype(float)
+    accuracy = float(np.mean(danger == truth.grid))
+    missed = int(np.sum((truth.grid > 0.5) & (danger < 0.5)))
+    false_alarms = int(np.sum((truth.grid < 0.5) & (danger > 0.5)))
+    print(
+        f"danger map: {accuracy:.0%} of cells labelled correctly "
+        f"({missed} occupied cells missed, {false_alarms} false alarms)"
+    )
+
+    # Rescue priority: zones ranked by estimated indoor occupancy.
+    print("\nrescue priority (estimated indoor cells per zone):")
+    ranking = []
+    for zone in system.hierarchy.zone_grid:
+        block = danger[
+            zone.y0 : zone.y0 + zone.height, zone.x0 : zone.x0 + zone.width
+        ]
+        true_block = truth.grid[
+            zone.y0 : zone.y0 + zone.height, zone.x0 : zone.x0 + zone.width
+        ]
+        ranking.append(
+            (zone.zone_id, float(block.sum()), float(true_block.sum()))
+        )
+    ranking.sort(key=lambda r: -r[1])
+    for zone_id, estimated, true in ranking[:5]:
+        print(
+            f"  zone {zone_id:2d}: est {estimated:4.0f} indoor cells "
+            f"(true {true:4.0f})"
+        )
+    # Did we rank the truly worst zone in our top 3?
+    true_worst = max(ranking, key=lambda r: r[2])[0]
+    top3 = [zone_id for zone_id, _, _ in ranking[:3]]
+    print(
+        f"worst-hit zone {true_worst} "
+        f"{'IS' if true_worst in top3 else 'IS NOT'} in the top-3 priority"
+    )
+
+    messages = system.hierarchy.bus.stats.messages
+    exhaustive = 2 * truth.n * 2  # command+report for every cell, 2 rounds
+    print(
+        f"\nnetwork cost: {messages} messages vs {exhaustive} for "
+        f"exhaustive polling ({1 - messages / exhaustive:.0%} saved on "
+        "congested post-quake networks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

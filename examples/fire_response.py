@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Disaster response: tracking a moving fire front with criticality-
+weighted compressive crowdsensing.
+
+Section 1's first use case: "information from in-situ and mobile sensors
+can help in incident perimeter assessment as well as rapid localization
+of regions with high impact."  This example
+
+1. builds the fire scenario (sigmoid front + hotspots, zone criticality
+   peaked where the front is),
+2. runs zone-adaptive sensing rounds while the front advances,
+3. shows the perimeter estimate (the column where intensity crosses
+   half-peak) tracking the true front, and
+4. disseminates an evacuation alert to every phone in threatened zones.
+
+Run:  python examples/fire_response.py
+"""
+
+import numpy as np
+
+from repro.fields import fire_intensity_field
+from repro.sim import fire_scenario
+
+
+def perimeter_column(field) -> float:
+    """Estimated fire-front x position: where the column-mean intensity
+    falls to half of the burning-side plateau."""
+    profile = field.grid.mean(axis=0)
+    half = 0.5 * profile.max()
+    below = np.where(profile < half)[0]
+    return float(below[0]) if below.size else float(field.width - 1)
+
+
+def main() -> None:
+    scenario = fire_scenario(nodes_per_nc=48, front_position=0.3, rng=7)
+    system = scenario.system
+    width = scenario.truth.width
+    height = scenario.truth.height
+    print(
+        f"fire scenario: {width}x{height} field, "
+        f"{system.hierarchy.n_nodes} responder/civilian phones"
+    )
+    print("zone criticality (peaked at the front):")
+    print(np.round(scenario.criticality, 2))
+
+    budget = 160
+    print(f"\nadvancing front, {budget}-measurement budget per round:")
+    for step, front in enumerate((0.3, 0.45, 0.6)):
+        # The fire advances: regenerate the truth with the front moved.
+        new_truth = fire_intensity_field(
+            width, height, front_position=front, rng=7
+        )
+        system.env.fields["fire_intensity"] = new_truth
+
+        estimate = system.sense_field(adaptive=True, total_budget=budget)
+        err = system.estimate_error(estimate)
+        true_edge = perimeter_column(new_truth)
+        est_edge = perimeter_column(estimate.field)
+        print(
+            f"  t={step}: true front at column {true_edge:4.1f}, "
+            f"estimated {est_edge:4.1f}, field error {err:.3f}, "
+            f"M={estimate.total_measurements}"
+        )
+
+        # Alert phones in zones the front is entering (downlink path).
+        threatened = [
+            zone.zone_id
+            for zone in system.hierarchy.zone_grid
+            if zone.x0 <= true_edge < zone.x0 + zone.width
+        ]
+        alerts = 0
+        for zone_id in threatened:
+            lc = system.hierarchy.localclouds[zone_id]
+            for nc in lc.nanoclouds:
+                alerts += nc.broker.disseminate(
+                    nc.bus,
+                    {"alert": "evacuate", "front_column": true_edge},
+                    payload_values=2,
+                    timestamp=float(step),
+                )
+        print(f"        evacuation alert disseminated to {alerts} phones "
+              f"in zones {threatened}")
+
+    summary = system.energy_summary_mj()
+    print(
+        f"\ntotal cost: {summary['messages']:.0f} messages, "
+        f"{summary['node_energy_mj'] + summary['radio_energy_mj']:.0f} mJ"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Joint spatio-temporal sensing: stitching sparse rounds together.
+
+Section 3 claims the framework's "unique ability to jointly perform
+spatio-temporal compressive sensing".  This example shows why that
+matters operationally: a NanoCloud that can only afford 8 reports per
+round (battery discipline) produces poor per-round reconstructions —
+but a window of 8 such rounds, solved jointly in the Kronecker
+(time x space) basis, recovers every snapshot well, including the gaps.
+
+Run:  python examples/spacetime_window.py
+"""
+
+import numpy as np
+
+from repro.core import metrics
+from repro.fields import ar1_evolution, evolve_field, smooth_field
+from repro.middleware import BrokerConfig, NanoCloud, gather_spacetime_window
+from repro.network import MessageBus
+from repro.sensors import Environment
+
+W = H = 8
+ROUNDS = 8
+M_PER_ROUND = 8  # far below what one snapshot needs alone
+
+
+def main() -> None:
+    # The world: a smooth field drifting with strong temporal correlation.
+    initial = smooth_field(W, H, cutoff=0.2, amplitude=4.0, offset=21.0, rng=0)
+    trace = evolve_field(
+        initial, ar1_evolution(rho=0.97, innovation_std=0.05),
+        steps=ROUNDS - 1, rng=1,
+    )
+    truths = list(trace.snapshots)
+    envs = [Environment(fields={"temperature": f}) for f in truths]
+
+    print(
+        f"{W}x{H} zone, {ROUNDS} rounds, only {M_PER_ROUND} reports/round "
+        f"({M_PER_ROUND / (W * H):.0%} of cells)"
+    )
+
+    # Arm 1: each round reconstructed on its own.
+    nc_solo = NanoCloud.build(
+        "solo", MessageBus(), W, H, n_nodes=W * H,
+        config=BrokerConfig(seed=5), heterogeneous=False, rng=5,
+    )
+    solo_errors = []
+    for r in range(ROUNDS):
+        estimate = nc_solo.run_round(
+            envs[r], timestamp=float(r), measurements=M_PER_ROUND
+        )
+        solo_errors.append(
+            metrics.relative_error(
+                truths[r].vector(), estimate.field.vector()
+            )
+        )
+
+    # Arm 2: the same rounds accumulated and solved jointly.
+    nc_joint = NanoCloud.build(
+        "joint", MessageBus(), W, H, n_nodes=W * H,
+        config=BrokerConfig(seed=5), heterogeneous=False, rng=5,
+    )
+    window = gather_spacetime_window(
+        nc_joint, lambda r: envs[r], rounds=ROUNDS,
+        measurements_per_round=M_PER_ROUND, sparsity=20,
+    )
+    joint_errors = window.errors_against(truths)
+
+    print("\nper-snapshot relative error:")
+    print("round  per-round  joint-window")
+    for r in range(ROUNDS):
+        print(f"  {r}    {solo_errors[r]:9.3f}  {joint_errors[r]:12.3f}")
+    print(
+        f"\nmedian: per-round {np.median(solo_errors):.3f}  vs  "
+        f"joint {np.median(joint_errors):.3f}  "
+        f"({np.median(solo_errors) / np.median(joint_errors):.1f}x better)"
+    )
+    print(
+        "same phones, same radio traffic — the temporal DCT modes let "
+        "every round borrow evidence from its neighbours."
+    )
+
+
+if __name__ == "__main__":
+    main()

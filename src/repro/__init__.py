@@ -1,0 +1,84 @@
+"""SenseDroid reproduction: collaborative compressive mobile crowdsensing.
+
+A full-system Python reproduction of *"Sense-making from Distributed and
+Mobile Sensing Data: A Middleware Perspective"* (Sarma, Venkatasubramanian,
+Dutt -- DAC 2014): the compressive-sensing core (OMP / L1-LP / OLS / GLS /
+the CHS algorithm of Fig. 6), the multi-tier NanoCloud / LocalCloud /
+public-cloud middleware of Fig. 1, simulated sensors and mobility, energy
+accounting, and the baselines the paper positions itself against.
+
+Quick start::
+
+    from repro import SenseDroid, Environment, urban_temperature_field
+
+    truth = urban_temperature_field(32, 16, rng=3)
+    env = Environment(fields={"temperature": truth})
+    system = SenseDroid(env, rng=42)
+    estimate = system.sense_field()
+    print(system.estimate_error(estimate))
+
+Subpackages: :mod:`repro.core` (CS math), :mod:`repro.fields`,
+:mod:`repro.sensors`, :mod:`repro.network`, :mod:`repro.middleware`,
+:mod:`repro.context`, :mod:`repro.mobility`, :mod:`repro.energy`,
+:mod:`repro.baselines`, :mod:`repro.sim`.
+"""
+
+from . import (
+    baselines,
+    context,
+    core,
+    energy,
+    fields,
+    middleware,
+    mobility,
+    network,
+    sensors,
+    sim,
+)
+from .core import chs, omp, reconstruct
+from .fields import (
+    SpatialField,
+    fire_intensity_field,
+    gaussian_plume_field,
+    smooth_field,
+    urban_temperature_field,
+)
+from .middleware import (
+    BrokerConfig,
+    CompressionPolicy,
+    Hierarchy,
+    HierarchyConfig,
+    SenseDroid,
+)
+from .sensors import Environment, NodeState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "context",
+    "core",
+    "energy",
+    "fields",
+    "middleware",
+    "mobility",
+    "network",
+    "sensors",
+    "sim",
+    "chs",
+    "omp",
+    "reconstruct",
+    "SpatialField",
+    "fire_intensity_field",
+    "gaussian_plume_field",
+    "smooth_field",
+    "urban_temperature_field",
+    "BrokerConfig",
+    "CompressionPolicy",
+    "Hierarchy",
+    "HierarchyConfig",
+    "SenseDroid",
+    "Environment",
+    "NodeState",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Comparison baselines: dense gathering, uniform subsampling, and the
+Luo et al. global compressive-gathering scheme."""
+
+from .dense import DenseResult, dense_gather
+from .global_cs import GlobalCSResult, global_cs_gather, global_cs_transmissions
+from .uniform import UniformResult, uniform_gather
+
+__all__ = [
+    "DenseResult",
+    "dense_gather",
+    "GlobalCSResult",
+    "global_cs_gather",
+    "global_cs_transmissions",
+    "UniformResult",
+    "uniform_gather",
+]

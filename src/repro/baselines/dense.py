@@ -1,0 +1,56 @@
+"""Dense gathering baseline: every node reports every round.
+
+The "traditional sensing" arm of the comparisons: no compression, no
+hierarchy exploitation — all N covered cells are read and forwarded.
+Perfect accuracy at the covered cells, maximal sensing and communication
+cost.  Its transmission count is the paper's O(N^2) reference point for
+multihop WSN gathering; in our single-hop NanoCloud the cost is N
+reports per round plus N command messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fields.field import SpatialField
+
+__all__ = ["DenseResult", "dense_gather"]
+
+
+@dataclass(frozen=True)
+class DenseResult:
+    """Outcome of one dense gathering round."""
+
+    field: SpatialField
+    measurements: int
+    messages: int
+    reported_values: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return 1.0
+
+
+def dense_gather(
+    truth: SpatialField,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> DenseResult:
+    """Read every cell once (with sensor noise) and return the field.
+
+    Message accounting: one command + one report per cell (the broker
+    still has to address each node individually over unicast links).
+    """
+    n = truth.n
+    values = truth.sample(np.arange(n), noise_std=noise_std, rng=rng)
+    field = SpatialField.from_vector(
+        values, truth.width, truth.height, name=f"{truth.name}-dense"
+    )
+    return DenseResult(
+        field=field,
+        measurements=n,
+        messages=2 * n,
+        reported_values=n,
+    )

@@ -1,0 +1,63 @@
+"""Uniform subsampling + interpolation baseline.
+
+The naive way to save M/N of the sensing cost: read every (N/M)-th cell
+and interpolate the gaps.  No sparse model, no random projections — the
+strawman that compressive sensing is compared against.  Works adequately
+on very smooth fields and fails on localized structure (plume cores,
+fire hotspots) that falls between the uniformly spaced samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sampling import grid_locations
+from ..fields.field import SpatialField
+
+__all__ = ["UniformResult", "uniform_gather"]
+
+
+@dataclass(frozen=True)
+class UniformResult:
+    """Outcome of one uniform-subsampling round."""
+
+    field: SpatialField
+    locations: np.ndarray
+    messages: int
+
+    @property
+    def measurements(self) -> int:
+        return int(self.locations.size)
+
+
+def uniform_gather(
+    truth: SpatialField,
+    m: int,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> UniformResult:
+    """Sample ``m`` evenly spaced cells and linearly interpolate the rest.
+
+    Interpolation runs in vector-index space (the same 1-D view the CS
+    solvers use), so the two arms differ only in *sampling pattern and
+    reconstruction model*, not in data layout.
+    """
+    if not 0 < m <= truth.n:
+        raise ValueError(f"need 0 < m <= {truth.n}, got {m}")
+    locations = grid_locations(truth.n, m)
+    values = truth.sample(locations, noise_std=noise_std, rng=rng)
+    full = np.interp(
+        np.arange(truth.n, dtype=float),
+        locations.astype(float),
+        values,
+    )
+    field = SpatialField.from_vector(
+        full, truth.width, truth.height, name=f"{truth.name}-uniform"
+    )
+    return UniformResult(
+        field=field,
+        locations=locations,
+        messages=2 * locations.size,
+    )

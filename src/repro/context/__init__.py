@@ -1,0 +1,41 @@
+"""Context determination: features, activity, IsDriving, IsIndoor, groups."""
+
+from .activity import (
+    MODES,
+    ActivityEstimate,
+    classify_features,
+    classify_window,
+)
+from .features import WindowFeatures, band_energy, extract_features
+from .group import ContextReport, GroupAggregator, GroupContext
+from .isdriving import (
+    DrivingDetection,
+    compressive_vs_uniform_trial,
+    detect_is_driving,
+)
+from .isindoor import (
+    IndoorObservation,
+    IndoorTraceResult,
+    detect_indoor_trace,
+    observe_indoor,
+)
+
+__all__ = [
+    "MODES",
+    "ActivityEstimate",
+    "classify_features",
+    "classify_window",
+    "WindowFeatures",
+    "band_energy",
+    "extract_features",
+    "ContextReport",
+    "GroupAggregator",
+    "GroupContext",
+    "DrivingDetection",
+    "compressive_vs_uniform_trial",
+    "detect_is_driving",
+    "IndoorObservation",
+    "IndoorTraceResult",
+    "detect_indoor_trace",
+    "observe_indoor",
+]

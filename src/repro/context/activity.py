@@ -1,0 +1,59 @@
+"""Activity classification from accelerometer windows.
+
+A small, transparent rule-based classifier over
+:class:`repro.context.features.WindowFeatures`: idle when there is almost
+no motion energy, walking when the gait band dominates, driving when the
+sway+engine bands dominate.  Deliberately not a learned model — the paper
+prototypes context inference, and a rule classifier keeps the compressive
+-vs-uniform comparison about *sampling*, not classifier variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .features import WindowFeatures, extract_features
+
+__all__ = ["ActivityEstimate", "classify_features", "classify_window", "MODES"]
+
+MODES = ("idle", "walking", "driving")
+
+#: Below this RMS (m/s^2) the phone is considered motionless.
+IDLE_RMS_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class ActivityEstimate:
+    """Classifier output with per-mode scores (softmax-normalised)."""
+
+    mode: str
+    confidence: float
+    scores: dict[str, float]
+
+
+def classify_features(features: WindowFeatures) -> ActivityEstimate:
+    """Classify one feature vector into idle / walking / driving."""
+    if features.rms < IDLE_RMS_THRESHOLD:
+        return ActivityEstimate(
+            mode="idle",
+            confidence=1.0,
+            scores={"idle": 1.0, "walking": 0.0, "driving": 0.0},
+        )
+    walk_score = features.step_energy
+    drive_score = features.sway_energy + features.engine_energy
+    raw = np.array([IDLE_RMS_THRESHOLD**2, walk_score, drive_score])
+    total = raw.sum()
+    probs = raw / total if total > 0 else np.full(3, 1 / 3)
+    best = int(np.argmax(probs))
+    return ActivityEstimate(
+        mode=MODES[best],
+        confidence=float(probs[best]),
+        scores=dict(zip(MODES, probs.tolist())),
+    )
+
+
+def classify_window(signal: np.ndarray, rate_hz: float) -> ActivityEstimate:
+    """Features + classification in one step."""
+    return classify_features(extract_features(signal, rate_hz))

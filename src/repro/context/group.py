@@ -1,0 +1,122 @@
+"""Group context aggregation.
+
+Section 1's health use case extends individual contexts "to a family or
+a group of related people to jointly infer their moods, and exercise
+routines, exposures to pollutants etc. to find combined stress quotient
+... also be used to achieve a family health indicator"; the smart-spaces
+case wants "group behavior to improve the facility and its service".
+The broker computes these rollups from the contexts nodes share
+(subject to each node's privacy policy).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ContextReport", "GroupContext", "GroupAggregator"]
+
+
+@dataclass(frozen=True)
+class ContextReport:
+    """One node's shared context sample."""
+
+    node_id: str
+    timestamp: float
+    kind: str  # e.g. "activity", "stress", "exposure", "indoor"
+    value: float | str
+
+
+@dataclass(frozen=True)
+class GroupContext:
+    """Aggregated view over a group at one instant."""
+
+    kind: str
+    count: int
+    mean: float | None  # numeric contexts only
+    distribution: dict[str, float]  # categorical share (or binned numeric)
+    consensus: str | None  # majority label for categorical contexts
+
+
+@dataclass
+class GroupAggregator:
+    """Accumulates context reports and produces group rollups."""
+
+    window_s: float = 60.0
+    _reports: list[ContextReport] = field(default_factory=list)
+
+    def add(self, report: ContextReport) -> None:
+        self._reports.append(report)
+
+    def _recent(self, kind: str, now: float) -> list[ContextReport]:
+        return [
+            r
+            for r in self._reports
+            if r.kind == kind and now - self.window_s <= r.timestamp <= now
+        ]
+
+    def aggregate(self, kind: str, now: float) -> GroupContext:
+        """Summarise the last window of reports of one context kind.
+
+        Numeric contexts get a mean; categorical ones a share
+        distribution and majority label.  A context kind mixing numeric
+        and categorical values is rejected.
+        """
+        reports = self._recent(kind, now)
+        if not reports:
+            return GroupContext(
+                kind=kind, count=0, mean=None, distribution={}, consensus=None
+            )
+        values = [r.value for r in reports]
+        numeric = [v for v in values if isinstance(v, (int, float))]
+        categorical = [v for v in values if isinstance(v, str)]
+        if numeric and categorical:
+            raise ValueError(
+                f"context kind {kind!r} mixes numeric and categorical values"
+            )
+        if numeric:
+            arr = np.asarray(numeric, dtype=float)
+            # Bin numeric values into low/medium/high thirds of the range.
+            lo, hi = float(arr.min()), float(arr.max())
+            if hi > lo:
+                bins = np.clip(((arr - lo) / (hi - lo) * 3).astype(int), 0, 2)
+            else:
+                bins = np.zeros(arr.size, dtype=int)
+            labels = np.array(["low", "medium", "high"])[bins]
+            dist = {
+                label: count / arr.size
+                for label, count in Counter(labels.tolist()).items()
+            }
+            return GroupContext(
+                kind=kind,
+                count=arr.size,
+                mean=float(arr.mean()),
+                distribution=dist,
+                consensus=None,
+            )
+        counts = Counter(categorical)
+        total = sum(counts.values())
+        dist = {label: c / total for label, c in counts.items()}
+        consensus = counts.most_common(1)[0][0]
+        return GroupContext(
+            kind=kind,
+            count=total,
+            mean=None,
+            distribution=dist,
+            consensus=consensus,
+        )
+
+    def stress_quotient(self, now: float) -> float | None:
+        """The paper's 'combined stress quotient': mean shared stress
+        level over the window, or None if nobody shared one."""
+        context = self.aggregate("stress", now)
+        return context.mean
+
+    def prune(self, now: float) -> int:
+        """Drop reports older than the window; returns removal count."""
+        cutoff = now - self.window_s
+        before = len(self._reports)
+        self._reports = [r for r in self._reports if r.timestamp >= cutoff]
+        return before - len(self._reports)

@@ -1,0 +1,193 @@
+"""Orthonormal bases for sparse representation of sensor fields.
+
+The paper (Section 4, eq. 2) represents any field vector ``x`` in an
+orthonormal basis ``Phi`` as ``x = Phi @ alpha`` and notes that "the basis
+Phi is often selected as transformation matrix of FFT or DCT".  Fields that
+are smooth or piecewise-smooth have rapidly decaying coefficients in these
+bases, which is what makes compressive recovery from M << N samples work.
+
+This module provides explicit (dense) synthesis matrices.  Dense matrices
+are the right trade-off at the field sizes the paper considers (N = W*H in
+the hundreds to low thousands, 256-sample temporal windows): every solver
+in :mod:`repro.core` then reduces to plain linear algebra and stays easy
+to verify.
+
+All bases returned here satisfy ``Phi @ Phi.conj().T == I`` (orthonormal
+columns), which property tests in ``tests/core/test_basis.py`` enforce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dct, idct
+
+__all__ = [
+    "dct_basis",
+    "dct2_basis",
+    "idct_vector",
+    "dft_basis",
+    "haar_basis",
+    "identity_basis",
+    "pca_basis",
+    "basis_by_name",
+    "BASIS_NAMES",
+]
+
+
+def dct_basis(n: int) -> np.ndarray:
+    """Return the ``n x n`` orthonormal DCT-II synthesis matrix.
+
+    Column ``k`` is the k-th DCT basis vector, so ``x = Phi @ alpha``
+    synthesises a signal from its DCT coefficients ``alpha``.  Uses the
+    orthonormal ("ortho") scaling so the matrix is orthogonal.
+    """
+    if n <= 0:
+        raise ValueError(f"basis size must be positive, got {n}")
+    # idct of the identity gives the synthesis matrix column by column.
+    return idct(np.eye(n), axis=0, norm="ortho")
+
+
+def idct_vector(alpha: np.ndarray) -> np.ndarray:
+    """Fast synthesis ``Phi @ alpha`` for the DCT basis (no matrix build)."""
+    return idct(np.asarray(alpha, dtype=float), norm="ortho")
+
+
+def dct_vector(x: np.ndarray) -> np.ndarray:
+    """Fast analysis ``Phi.T @ x`` for the DCT basis (no matrix build)."""
+    return dct(np.asarray(x, dtype=float), norm="ortho")
+
+
+def dct2_basis(width: int, height: int) -> np.ndarray:
+    """Return the ``N x N`` separable 2-D DCT synthesis basis for a
+    column-stacked ``height x width`` field (N = width*height).
+
+    With the eq.-(1) vectorisation ``x = vec(G)`` (column-major), the
+    2-D DCT synthesis ``G = Phi_H A Phi_W^T`` becomes
+    ``x = (Phi_W kron Phi_H) vec(A)``, so the Kronecker product is the
+    orthonormal basis in which physically smooth 2-D fields are sparse —
+    far sparser than in the 1-D DCT of the stacked vector, which sees
+    artificial discontinuities at every column seam.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError(
+            f"field dimensions must be positive, got {width}x{height}"
+        )
+    return np.kron(dct_basis(width), dct_basis(height))
+
+
+def dft_basis(n: int) -> np.ndarray:
+    """Return the ``n x n`` unitary DFT synthesis matrix (complex).
+
+    The paper mentions FFT as an alternative basis.  Real-valued solvers in
+    this package accept it by operating on the stacked real/imaginary
+    system; see :func:`repro.core.reconstruction.reconstruct`.
+    """
+    if n <= 0:
+        raise ValueError(f"basis size must be positive, got {n}")
+    k = np.arange(n)
+    return np.exp(2j * np.pi * np.outer(k, k) / n) / np.sqrt(n)
+
+
+def haar_basis(n: int) -> np.ndarray:
+    """Return the ``n x n`` orthonormal Haar wavelet synthesis matrix.
+
+    ``n`` must be a power of two.  Haar is a good basis for piecewise-
+    constant fields (e.g. the 'IsIndoor' 0/1 flag field of Section 3).
+    """
+    if n <= 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"Haar basis requires a power-of-two size, got {n}")
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        m = h.shape[0]
+        top = np.kron(h, np.array([1.0, 1.0]))
+        bottom = np.kron(np.eye(m), np.array([1.0, -1.0]))
+        h = np.vstack([top, bottom]) / np.sqrt(2.0)
+    # Rows of h are the analysis vectors; columns of h.T synthesise.
+    return h.T
+
+
+def identity_basis(n: int) -> np.ndarray:
+    """Return the canonical basis (for fields sparse in the spatial domain,
+    e.g. a few point sources on an otherwise zero background)."""
+    if n <= 0:
+        raise ValueError(f"basis size must be positive, got {n}")
+    return np.eye(n)
+
+
+def pca_basis(traces: np.ndarray, energy: float = 1.0) -> np.ndarray:
+    """Learn an orthonormal basis from prior field traces (Section 4).
+
+    The paper exploits "prior available data of a LC -- a set of T spatial
+    fields" to improve reconstruction.  Principal components of the trace
+    matrix ``X`` (T x N, one vectorised field per row) give a basis in
+    which fields drawn from the same process are maximally compressible.
+
+    Parameters
+    ----------
+    traces:
+        Array of shape ``(T, N)``; each row is a vectorised prior field.
+    energy:
+        Fraction of variance to retain in the leading components.  The
+        remaining directions are filled with an orthonormal completion so
+        the returned matrix is always a full ``N x N`` orthogonal basis
+        (solvers need a square Phi; the completion carries the residual).
+
+    Returns
+    -------
+    ``N x N`` orthogonal matrix whose leading columns are the principal
+    directions of the traces, ordered by decreasing variance.
+    """
+    traces = np.atleast_2d(np.asarray(traces, dtype=float))
+    if traces.ndim != 2:
+        raise ValueError("traces must be a (T, N) array")
+    if not 0.0 < energy <= 1.0:
+        raise ValueError(f"energy must be in (0, 1], got {energy}")
+    n = traces.shape[1]
+    centered = traces - traces.mean(axis=0, keepdims=True)
+    # SVD of the (possibly short-fat) centered trace matrix.
+    _, s, vt = np.linalg.svd(centered, full_matrices=False)
+    var = s**2
+    total = var.sum()
+    if total > 0 and energy < 1.0:
+        keep = int(np.searchsorted(np.cumsum(var) / total, energy) + 1)
+        vt = vt[:keep]
+    components = vt.T  # N x r, orthonormal columns
+    r = components.shape[1]
+    if r < n:
+        # Complete to a full orthogonal basis via QR of a projection of
+        # the identity onto the orthogonal complement.
+        proj = np.eye(n) - components @ components.T
+        q, _ = np.linalg.qr(proj)
+        # Pick n - r independent columns of q (those not in span(components)).
+        extras = []
+        for col in q.T:
+            residual = col - components @ (components.T @ col)
+            for e in extras:
+                residual = residual - e * (e @ residual)
+            norm = np.linalg.norm(residual)
+            if norm > 1e-8:
+                extras.append(residual / norm)
+            if len(extras) == n - r:
+                break
+        components = np.column_stack([components] + extras)
+    return components
+
+
+BASIS_NAMES = ("dct", "dft", "haar", "identity")
+
+
+def basis_by_name(name: str, n: int) -> np.ndarray:
+    """Build a named basis; convenience for configuration files and probes."""
+    builders = {
+        "dct": dct_basis,
+        "dft": dft_basis,
+        "haar": haar_basis,
+        "identity": identity_basis,
+    }
+    try:
+        builder = builders[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown basis {name!r}; expected one of {sorted(builders)}"
+        ) from None
+    return builder(n)

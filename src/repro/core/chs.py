@@ -1,0 +1,237 @@
+"""Compressive Heterogeneous Sensing (CHS) — the algorithm of Fig. 6.
+
+This is the paper's main algorithmic contribution: an iterative
+reconstruction loop that, unlike plain OMP, (a) interpolates the
+measurement residual from the M sensor locations back to all N grid
+points before analysing it in the basis, so coefficient scoring sees a
+full-resolution (if crude) field estimate, and (b) refits the selected
+coefficients with GLS when sensors are heterogeneous.
+
+Fig. 6, restated:
+
+    Input : measured vector x_S at locations L, sparsity budget, basis Phi
+    Output: index set J, sensing matrix Phi~_K, reconstruction x_hat
+
+    1. J = {}, residual e_r = x_S, alpha_K = {}
+    2. form basis Phi
+    3. while stop criteria not met:
+       (a) e_r_new = Y(e_r)        # interpolate R^M -> R^N
+       (b) alpha_r = Phi^+ e_r_new # analyse interpolated residual
+       (c) pick significant indices I from alpha_r
+       (d) J = J U I
+       (e) refit alpha_K on Phi[L, J] by OLS (eq. 11) or GLS (eq. 12)
+       (f) e_r = x_S - Phi[L, J] alpha_K
+    4. x_hat = Phi[:, J] alpha_K
+
+"The algorithm is primarily implemented in the brokers but is also used
+by the nodes for context processing" — accordingly
+:class:`repro.middleware.broker.Broker` and the temporal context probes
+both call :func:`chs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .least_squares import gls_solve, ols_solve
+
+__all__ = [
+    "CHSResult",
+    "chs",
+    "zero_fill_interpolate",
+    "linear_interpolate",
+    "nearest_interpolate",
+]
+
+Interpolator = Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+
+
+def zero_fill_interpolate(
+    values: np.ndarray, locations: np.ndarray, n: int
+) -> np.ndarray:
+    """Default residual lift Y: place residuals at their locations, zero
+    elsewhere (the adjoint of the selection operator).
+
+    With an orthonormal basis this makes step 3(b)'s analysis equal the
+    measurement-domain correlation ``Phi[L,:].T @ e_r`` — the classical
+    matched-filter score — so CHS stays reliable even when the field has
+    content the smoother interpolators alias away (e.g. the engine
+    vibration tone in the Fig. 4 accelerometer window).
+    """
+    locations = np.asarray(locations, dtype=int)
+    full = np.zeros(n)
+    full[locations] = values
+    return full
+
+
+def linear_interpolate(
+    values: np.ndarray, locations: np.ndarray, n: int
+) -> np.ndarray:
+    """Residual interpolator Y: linear in vectorised-index space.
+
+    The vectorised field stacks grid columns (eq. 1), so index-space
+    linear interpolation is a crude but cheap spatial prior; Fig. 6 only
+    requires Y to map R^M -> R^N.  Best suited to smooth, low-frequency
+    spatial fields; see :func:`zero_fill_interpolate` for the robust
+    default.
+    """
+    locations = np.asarray(locations, dtype=float)
+    return np.interp(np.arange(n, dtype=float), locations, values)
+
+
+def nearest_interpolate(
+    values: np.ndarray, locations: np.ndarray, n: int
+) -> np.ndarray:
+    """Nearest-neighbour interpolator, better for piecewise-constant fields."""
+    locations = np.asarray(locations, dtype=int)
+    grid = np.arange(n)
+    nearest = np.abs(grid[:, None] - locations[None, :]).argmin(axis=1)
+    return np.asarray(values, dtype=float)[nearest]
+
+
+@dataclass
+class CHSResult:
+    """Outcome of one CHS run (Fig. 6 outputs plus diagnostics)."""
+
+    coefficients: np.ndarray
+    support: np.ndarray
+    reconstruction: np.ndarray
+    sensing_matrix: np.ndarray
+    residual_norm: float
+    iterations: int
+    residual_history: list[float] = field(default_factory=list)
+
+
+def chs(
+    phi: np.ndarray,
+    x_s: np.ndarray,
+    locations: np.ndarray,
+    *,
+    max_sparsity: int | None = None,
+    batch_size: int = 1,
+    tol: float = 1e-6,
+    max_iterations: int = 64,
+    covariance: np.ndarray | None = None,
+    interpolator: Interpolator = zero_fill_interpolate,
+) -> CHSResult:
+    """Run Compressive Heterogeneous Sensing (paper Fig. 6).
+
+    Parameters
+    ----------
+    phi:
+        Full ``(N, N)`` orthonormal synthesis basis.
+    x_s:
+        Measurements at the M sensor locations.
+    locations:
+        Sorted grid indices ``L`` of the reporting sensors (length M).
+    max_sparsity:
+        Cap on ``|J|``.  Defaults to ``M - 1`` so the per-iteration OLS
+        refit stays overdetermined (paper's M >= K requirement).
+    batch_size:
+        Number of new indices I admitted per iteration.  Fig. 6's step
+        3(c) picks a *subset*, so batching is supported, but the default
+        is 1: batched greedy selection commits several coefficients on
+        one residual's evidence and measurably degrades exactly-sparse
+        fields (see the FIG6 interpolator/batch ablation bench).
+    tol:
+        Stop when the residual norm drops below ``tol * ||x_S||``.
+    max_iterations:
+        Hard stop for the while loop.
+    covariance:
+        Sensor noise covariance V; if given the refit in step 3e uses
+        GLS (heterogeneous sensors), else OLS (homogeneous).
+    interpolator:
+        The Y function of step 3a.
+
+    Returns
+    -------
+    :class:`CHSResult` with the N-point reconstruction ``x_hat``.
+    """
+    phi = np.asarray(phi, dtype=float)
+    x_s = np.asarray(x_s, dtype=float).ravel()
+    locations = np.asarray(locations, dtype=int).ravel()
+    if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
+        raise ValueError("CHS needs the full square basis Phi")
+    n = phi.shape[0]
+    m = locations.size
+    if x_s.size != m:
+        raise ValueError(f"{x_s.size} measurements but {m} locations")
+    if m == 0:
+        raise ValueError("need at least one measurement")
+    if np.any(locations < 0) or np.any(locations >= n):
+        raise IndexError("sensor location out of field range")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if max_sparsity is None:
+        max_sparsity = max(1, m - 1)
+    # The paper's overdetermined-refit requirement M >= K: clamp any
+    # caller-supplied budget so the step-3e least squares never goes
+    # underdetermined (K ~ M extrapolates wildly off the sample set).
+    max_sparsity = min(max_sparsity, max(1, m - 1), n)
+
+    phi_rows = phi[locations, :]  # Phi(L, :), shared by all refits
+    # Selection is normalised by each atom's energy *at the sampled
+    # rows*: an atom barely present at the M locations can correlate
+    # spuriously with the residual (e.g. a high-frequency atom whose six
+    # sampled entries all happen to share a sign will outscore the DC
+    # atom on a near-constant field) yet cannot be estimated from those
+    # samples.  This is the standard matched-filter normalisation OMP
+    # uses, applied to Fig. 6's step (c) scoring.
+    column_norms = np.linalg.norm(phi_rows, axis=0)
+    column_norms = np.where(column_norms > 1e-12, column_norms, np.inf)
+    support: list[int] = []
+    alpha_sub = np.zeros(0)
+    residual = x_s.copy()
+    target = tol * max(np.linalg.norm(x_s), 1e-300)
+    history: list[float] = []
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        # (a) interpolate the measurement residual to the full grid.
+        residual_full = interpolator(residual, locations, n)
+        # (b) analyse in the basis: alpha_r = Phi^+ e_r_new = Phi^T for
+        # orthonormal Phi.
+        alpha_r = phi.T @ residual_full
+        # (c) pick the largest-magnitude new coefficients (normalised by
+        # sampled-row atom energy; see column_norms above).  Ties are
+        # broken toward the lower coefficient index: at small M a
+        # high-frequency atom can alias exactly onto a low-frequency one
+        # over the sample set, and the low-frequency interpretation is
+        # the right prior for physical fields.
+        scores = np.abs(alpha_r) / column_norms
+        order = np.lexsort((np.arange(n), -scores))
+        new = [int(i) for i in order if int(i) not in set(support)]
+        room = max_sparsity - len(support)
+        picked = new[: min(batch_size, room)]
+        if not picked:
+            break
+        # (d) grow the index set.
+        support.extend(picked)
+        # (e) refit all coefficients on the measured rows.
+        sub = phi_rows[:, support]
+        if covariance is None:
+            alpha_sub = ols_solve(sub, x_s)
+        else:
+            alpha_sub = gls_solve(sub, x_s, covariance)
+        # (f) update the measurement-domain residual.
+        residual = x_s - sub @ alpha_sub
+        history.append(float(np.linalg.norm(residual)))
+        if history[-1] <= target or len(support) >= max_sparsity:
+            break
+
+    coefficients = np.zeros(n)
+    if support:
+        coefficients[support] = alpha_sub
+    reconstruction = phi[:, support] @ alpha_sub if support else np.zeros(n)
+    return CHSResult(
+        coefficients=coefficients,
+        support=np.asarray(support, dtype=int),
+        reconstruction=reconstruction,
+        sensing_matrix=phi_rows[:, support] if support else np.zeros((m, 0)),
+        residual_norm=float(np.linalg.norm(residual)),
+        iterations=iterations,
+        residual_history=history,
+    )

@@ -1,0 +1,153 @@
+"""L1-minimisation (basis pursuit) solved as a Linear Program.
+
+Implements the paper's eqs. (9)-(10): the NP-hard L0 problem (eq. 8) is
+relaxed to
+
+    minimize ||alpha||_1   subject to   x_S = Phi~ alpha            (9)
+
+and, because the L1 cost is not smooth, slack variables theta_i with
+``-theta_i <= alpha_i <= theta_i`` turn it into the LP of eq. (10):
+
+    minimize sum_i theta_i
+    s.t.     x_S = Phi~ alpha,   -theta <= alpha <= theta.
+
+We hand exactly that LP to ``scipy.optimize.linprog`` (HiGHS).  A
+noise-tolerant variant (basis pursuit denoising with an L_inf-style
+per-measurement tolerance, still an LP) handles the measured-plus-noise
+case of eq. (14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["L1Result", "l1_solve", "l1_solve_noisy"]
+
+
+@dataclass
+class L1Result:
+    """Outcome of a basis-pursuit LP solve."""
+
+    coefficients: np.ndarray
+    objective: float
+    success: bool
+    status_message: str
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices of coefficients that are significantly non-zero."""
+        coeffs = self.coefficients
+        if coeffs.size == 0:
+            return np.zeros(0, dtype=int)
+        threshold = 1e-6 * max(float(np.max(np.abs(coeffs))), 1e-300)
+        return np.flatnonzero(np.abs(coeffs) > threshold)
+
+
+def _build_lp(
+    phi_tilde: np.ndarray, x_s: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble the shared pieces of the eq.-(10) LP.
+
+    Variables are ``z = [alpha (N), theta (N)]``; the objective is
+    ``sum(theta)`` and the slack constraints ``|alpha_i| <= theta_i`` are
+    encoded as two inequality blocks.
+    """
+    m, n = phi_tilde.shape
+    cost = np.concatenate([np.zeros(n), np.ones(n)])
+    eye = np.eye(n)
+    # alpha - theta <= 0  and  -alpha - theta <= 0
+    a_ub = np.block([[eye, -eye], [-eye, -eye]])
+    b_ub = np.zeros(2 * n)
+    a_eq_alpha = np.hstack([phi_tilde, np.zeros((m, n))])
+    return cost, a_ub, b_ub, a_eq_alpha, x_s
+
+
+def l1_solve(phi_tilde: np.ndarray, x_s: np.ndarray) -> L1Result:
+    """Solve exact basis pursuit, paper eqs. (9)-(10).
+
+    Parameters
+    ----------
+    phi_tilde:
+        ``(M, N)`` measurement dictionary (subsampled basis or A @ Phi).
+    x_s:
+        Length-M noiseless measurement vector.
+
+    Returns
+    -------
+    :class:`L1Result`; ``success`` is False if the LP is infeasible (can
+    happen with inconsistent/noisy measurements — use
+    :func:`l1_solve_noisy` then).
+    """
+    phi_tilde = np.asarray(phi_tilde, dtype=float)
+    x_s = np.asarray(x_s, dtype=float).ravel()
+    if phi_tilde.ndim != 2:
+        raise ValueError("dictionary must be 2-D")
+    if phi_tilde.shape[0] != x_s.size:
+        raise ValueError("measurement length does not match dictionary rows")
+    cost, a_ub, b_ub, a_eq, b_eq = _build_lp(phi_tilde, x_s)
+    n = phi_tilde.shape[1]
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(None, None)] * n + [(0, None)] * n,
+        method="highs",
+    )
+    coefficients = result.x[:n] if result.success else np.zeros(n)
+    return L1Result(
+        coefficients=coefficients,
+        objective=float(result.fun) if result.success else float("nan"),
+        success=bool(result.success),
+        status_message=str(result.message),
+    )
+
+
+def l1_solve_noisy(
+    phi_tilde: np.ndarray, x_s: np.ndarray, epsilon: float
+) -> L1Result:
+    """Basis pursuit with a per-measurement noise budget (eq. 14 setting).
+
+    Replaces the equality constraint by ``|x_S - Phi~ alpha|_i <= epsilon``
+    elementwise, which stays an LP.  ``epsilon`` should be of the order of
+    the sensor noise standard deviation.
+    """
+    phi_tilde = np.asarray(phi_tilde, dtype=float)
+    x_s = np.asarray(x_s, dtype=float).ravel()
+    if epsilon < 0:
+        raise ValueError("noise budget epsilon must be non-negative")
+    if phi_tilde.shape[0] != x_s.size:
+        raise ValueError("measurement length does not match dictionary rows")
+    m, n = phi_tilde.shape
+    cost = np.concatenate([np.zeros(n), np.ones(n)])
+    eye = np.eye(n)
+    zeros_mn = np.zeros((m, n))
+    a_ub = np.block(
+        [
+            [eye, -eye],
+            [-eye, -eye],
+            [phi_tilde, zeros_mn],
+            [-phi_tilde, zeros_mn],
+        ]
+    )
+    b_ub = np.concatenate(
+        [np.zeros(2 * n), x_s + epsilon, -(x_s - epsilon)]
+    )
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * n + [(0, None)] * n,
+        method="highs",
+    )
+    coefficients = result.x[:n] if result.success else np.zeros(n)
+    return L1Result(
+        coefficients=coefficients,
+        objective=float(result.fun) if result.success else float("nan"),
+        success=bool(result.success),
+        status_message=str(result.message),
+    )

@@ -1,0 +1,130 @@
+"""Orthogonal Matching Pursuit (OMP) for sparse recovery.
+
+Implements the solver for the paper's sparse-regression formulation
+(eq. 13):
+
+    minimize ||x - Phi alpha||_2^2   subject to   ||alpha||_0 <= K
+
+which "can be effectively solved using the orthogonal matching pursuit
+(OMP) algorithm [27]" (Tropp & Gilbert 2007).  OMP greedily selects the
+dictionary column most correlated with the current residual, then refits
+all selected coefficients by least squares — the same skeleton the CHS
+algorithm of Fig. 6 builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .least_squares import gls_solve, ols_solve
+
+__all__ = ["OMPResult", "omp"]
+
+
+@dataclass
+class OMPResult:
+    """Outcome of one OMP run.
+
+    Attributes
+    ----------
+    coefficients:
+        Full-length (N) coefficient vector; zero outside the support.
+    support:
+        Indices of the selected dictionary columns, in selection order.
+    residual_norm:
+        Final ``||x_s - Phi_tilde alpha||_2``.
+    iterations:
+        Number of greedy selections performed.
+    residual_history:
+        Residual norm after every iteration (for convergence plots).
+    """
+
+    coefficients: np.ndarray
+    support: np.ndarray
+    residual_norm: float
+    iterations: int
+    residual_history: list[float] = field(default_factory=list)
+
+
+def omp(
+    phi_tilde: np.ndarray,
+    x_s: np.ndarray,
+    sparsity: int,
+    *,
+    tol: float = 1e-9,
+    covariance: np.ndarray | None = None,
+) -> OMPResult:
+    """Recover a sparse coefficient vector from measurements ``x_s``.
+
+    Parameters
+    ----------
+    phi_tilde:
+        Measurement dictionary of shape ``(M, N)`` — for spatial-field
+        sensing this is the row-subsampled basis ``Phi[L, :]`` (eq. 7);
+        for projection gathering it is ``A @ Phi``.
+    x_s:
+        Measurement vector of length M.
+    sparsity:
+        Target sparsity K (maximum number of non-zero coefficients).
+    tol:
+        Stop early once the residual norm falls below ``tol * ||x_s||``.
+    covariance:
+        Optional sensor-noise covariance; when given, the per-iteration
+        refit uses GLS (eq. 12) instead of OLS (eq. 11), matching step
+        3(e)(ii) of Fig. 6.
+
+    Returns
+    -------
+    :class:`OMPResult` with the N-length coefficient vector.
+    """
+    phi_tilde = np.asarray(phi_tilde, dtype=float)
+    x_s = np.asarray(x_s, dtype=float).ravel()
+    if phi_tilde.ndim != 2:
+        raise ValueError("dictionary must be 2-D")
+    m, n = phi_tilde.shape
+    if x_s.size != m:
+        raise ValueError(f"measurement length {x_s.size} != dictionary rows {m}")
+    if not 0 < sparsity <= min(m, n):
+        raise ValueError(
+            f"sparsity must be in 1..min(M, N)={min(m, n)}, got {sparsity}"
+        )
+
+    # Column norms for a scale-invariant correlation test; guard zeros.
+    col_norms = np.linalg.norm(phi_tilde, axis=0)
+    safe_norms = np.where(col_norms > 0, col_norms, 1.0)
+
+    residual = x_s.copy()
+    target = tol * max(np.linalg.norm(x_s), 1e-300)
+    support: list[int] = []
+    alpha_sub = np.zeros(0)
+    history: list[float] = []
+
+    for _ in range(sparsity):
+        correlations = np.abs(phi_tilde.T @ residual) / safe_norms
+        correlations[support] = -np.inf  # never reselect
+        best = int(np.argmax(correlations))
+        if not np.isfinite(correlations[best]) or correlations[best] <= 0:
+            break
+        support.append(best)
+        sub = phi_tilde[:, support]
+        if covariance is None:
+            alpha_sub = ols_solve(sub, x_s)
+        else:
+            alpha_sub = gls_solve(sub, x_s, covariance)
+        residual = x_s - sub @ alpha_sub
+        history.append(float(np.linalg.norm(residual)))
+        if history[-1] <= target:
+            break
+
+    coefficients = np.zeros(n)
+    if support:
+        coefficients[support] = alpha_sub
+    return OMPResult(
+        coefficients=coefficients,
+        support=np.asarray(support, dtype=int),
+        residual_norm=float(np.linalg.norm(residual)),
+        iterations=len(support),
+        residual_history=history,
+    )

@@ -1,0 +1,198 @@
+"""Measurement selection and sensing-matrix construction.
+
+In the paper's NanoCloud protocol (Section 3, Fig. 2) the broker performs
+"stochastic (random) spatial sampling in various nodes": out of N nodes
+covering a zone it selects M at random and commands only those to report.
+Mathematically this is row subsampling of the basis: if sensors sit at
+locations ``L = {i_1, .., i_M}`` then the measurement model is
+
+    x(L) = Phi(L, :) @ alpha          (eqs. 4 and 7)
+
+so the *sensing matrix* ``Phi_tilde`` is simply ``Phi[L, :]``.  This module
+builds location sets (uniform random, deterministic grids, criticality-
+weighted) and the corresponding subsampled matrices, plus dense Gaussian
+sensing matrices used by the measurement-scaling bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "random_locations",
+    "grid_locations",
+    "weighted_locations",
+    "subsample_rows",
+    "gaussian_sensing_matrix",
+    "bernoulli_sensing_matrix",
+    "selection_matrix",
+    "MeasurementPlan",
+]
+
+
+def _check_m_n(m: int, n: int) -> None:
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    if not 0 < m <= n:
+        raise ValueError(f"need 0 < M <= N, got M={m}, N={n}")
+
+
+def random_locations(
+    n: int, m: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Choose ``m`` distinct indices uniformly at random from ``range(n)``.
+
+    Returned sorted, matching the paper's convention that L indexes grid
+    points of the vectorised field.
+    """
+    _check_m_n(m, n)
+    rng = np.random.default_rng(rng)
+    return np.sort(rng.choice(n, size=m, replace=False))
+
+
+def grid_locations(n: int, m: int) -> np.ndarray:
+    """Choose ``m`` (approximately) evenly spaced indices from ``range(n)``.
+
+    Deterministic counterpart of :func:`random_locations`; used by the
+    uniform-subsampling baseline.
+    """
+    _check_m_n(m, n)
+    return np.unique(np.linspace(0, n - 1, num=m).round().astype(int))
+
+
+def weighted_locations(
+    weights: np.ndarray,
+    m: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample ``m`` distinct indices with probability proportional to weight.
+
+    Implements the paper's "analyze a region with more emphasis based on
+    criticality or knowledge of events": the broker biases node selection
+    toward high-criticality grid cells.
+    """
+    weights = np.asarray(weights, dtype=float).ravel()
+    n = weights.size
+    _check_m_n(m, n)
+    if np.any(weights < 0):
+        raise ValueError("criticality weights must be non-negative")
+    total = weights.sum()
+    if total == 0:
+        return random_locations(n, m, rng)
+    rng = np.random.default_rng(rng)
+    probs = weights / total
+    return np.sort(rng.choice(n, size=m, replace=False, p=probs))
+
+
+def subsample_rows(phi: np.ndarray, locations: np.ndarray) -> np.ndarray:
+    """Return ``Phi_tilde = Phi[L, :]`` — the sensing matrix of eq. (7)."""
+    phi = np.asarray(phi)
+    locations = np.asarray(locations, dtype=int)
+    if locations.ndim != 1:
+        raise ValueError("locations must be a 1-D index array")
+    if locations.size and (locations.min() < 0 or locations.max() >= phi.shape[0]):
+        raise IndexError("location index out of range for basis")
+    return phi[locations, :]
+
+
+def selection_matrix(n: int, locations: np.ndarray) -> np.ndarray:
+    """Return the ``M x N`` 0/1 selection operator S with ``S @ x = x(L)``."""
+    locations = np.asarray(locations, dtype=int)
+    s = np.zeros((locations.size, n))
+    s[np.arange(locations.size), locations] = 1.0
+    return s
+
+
+def gaussian_sensing_matrix(
+    m: int, n: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Dense i.i.d. Gaussian sensing matrix with unit-norm expected columns.
+
+    This is the classical CS operator satisfying RIP with high probability
+    for M = O(K log(N/K)); used as the reference in the CLM-MKN bench and
+    by the Luo et al. global-gathering baseline, whose nodes transmit
+    random projections rather than raw samples.
+    """
+    _check_m_n(m, n)
+    rng = np.random.default_rng(rng)
+    return rng.standard_normal((m, n)) / np.sqrt(m)
+
+
+def bernoulli_sensing_matrix(
+    m: int, n: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Dense +-1/sqrt(M) Bernoulli sensing matrix (cheap on-node arithmetic:
+    the projection reduces to signed sums, attractive for phones)."""
+    _check_m_n(m, n)
+    rng = np.random.default_rng(rng)
+    return rng.choice([-1.0, 1.0], size=(m, n)) / np.sqrt(m)
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """A broker's sampling decision for one aggregation round.
+
+    Attributes
+    ----------
+    n:
+        Number of grid points / candidate nodes in the zone.
+    locations:
+        Sorted indices of the nodes commanded to report (length M).
+    seed:
+        RNG seed recorded so the round is reproducible end-to-end.
+    """
+
+    n: int
+    locations: np.ndarray
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        locations = np.asarray(self.locations, dtype=int)
+        if locations.ndim != 1:
+            raise ValueError("locations must be 1-D")
+        if locations.size == 0:
+            raise ValueError("a measurement plan needs at least one location")
+        if locations.size != np.unique(locations).size:
+            raise ValueError("locations must be distinct")
+        if locations.min() < 0 or locations.max() >= self.n:
+            raise ValueError("locations out of range")
+        object.__setattr__(self, "locations", np.sort(locations))
+
+    @property
+    def m(self) -> int:
+        """Number of measurements M."""
+        return int(self.locations.size)
+
+    @property
+    def compression_ratio(self) -> float:
+        """M / N — what Fig. 4's x-axis sweeps."""
+        return self.m / self.n
+
+    def sensing_matrix(self, phi: np.ndarray) -> np.ndarray:
+        """Sensing matrix ``Phi[L, :]`` for a basis defined on this zone."""
+        if phi.shape[0] != self.n:
+            raise ValueError(
+                f"basis has {phi.shape[0]} rows but plan covers {self.n} points"
+            )
+        return subsample_rows(phi, self.locations)
+
+    @classmethod
+    def random(
+        cls, n: int, m: int, seed: int | None = None
+    ) -> "MeasurementPlan":
+        """Uniform random plan, the broker's default policy."""
+        return cls(n=n, locations=random_locations(n, m, seed), seed=seed)
+
+    @classmethod
+    def weighted(
+        cls, weights: np.ndarray, m: int, seed: int | None = None
+    ) -> "MeasurementPlan":
+        """Criticality-weighted plan (Fig. 5 zone emphasis)."""
+        weights = np.asarray(weights, dtype=float)
+        return cls(
+            n=weights.size,
+            locations=weighted_locations(weights, m, seed),
+            seed=seed,
+        )

@@ -1,0 +1,13 @@
+"""Energy substrate: component models, batteries, ledgers, fleet reports."""
+
+from .accounting import EnergyLedger, FleetEnergyReport, savings_percent
+from .model import DEFAULT_CPU, Battery, CpuModel
+
+__all__ = [
+    "EnergyLedger",
+    "FleetEnergyReport",
+    "savings_percent",
+    "DEFAULT_CPU",
+    "Battery",
+    "CpuModel",
+]

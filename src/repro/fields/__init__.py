@@ -1,0 +1,54 @@
+"""Spatial-field substrate: grids, generators, traces, zones, priors."""
+
+from .coverage import (
+    CoverageReport,
+    coverage_report,
+    largest_gap_radius,
+    spatial_coverage,
+    temporal_coverage,
+)
+from .field import SpatialField, devectorize, vectorize
+from .generators import (
+    fire_intensity_field,
+    gaussian_plume_field,
+    indicator_field,
+    smooth_field,
+    sparse_dct_field,
+    urban_temperature_field,
+)
+from .priors import (
+    ZonePrior,
+    build_zone_prior,
+    estimate_prior_sparsity,
+    learn_prior_basis,
+)
+from .temporal import FieldTrace, ar1_evolution, drift_plume, evolve_field
+from .zones import Zone, ZoneGrid, allocate_measurements
+
+__all__ = [
+    "CoverageReport",
+    "coverage_report",
+    "largest_gap_radius",
+    "spatial_coverage",
+    "temporal_coverage",
+    "SpatialField",
+    "devectorize",
+    "vectorize",
+    "fire_intensity_field",
+    "gaussian_plume_field",
+    "indicator_field",
+    "smooth_field",
+    "sparse_dct_field",
+    "urban_temperature_field",
+    "ZonePrior",
+    "build_zone_prior",
+    "estimate_prior_sparsity",
+    "learn_prior_basis",
+    "FieldTrace",
+    "ar1_evolution",
+    "drift_plume",
+    "evolve_field",
+    "Zone",
+    "ZoneGrid",
+    "allocate_measurements",
+]

@@ -1,0 +1,154 @@
+"""Spatial and temporal coverage metrics for acquired sensing data.
+
+Section 2 cites StreamShaper [28], which "proposed spatial and temporal
+coverage metrics for measuring the quality of acquired data" for
+participatory urban sensing.  Brokers use these metrics to judge whether
+a round's random sample actually covered the zone (mobility can cluster
+nodes), and campaigns use them to decide where recruitment is needed.
+
+Spatial metrics operate on one round's sampled cells over a W x H zone;
+temporal metrics on the sequence of sample timestamps for one cell or
+zone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CoverageReport",
+    "spatial_coverage",
+    "largest_gap_radius",
+    "temporal_coverage",
+    "coverage_report",
+]
+
+
+def spatial_coverage(
+    locations: np.ndarray, n: int, cell_radius: int = 0, height: int | None = None
+) -> float:
+    """Fraction of zone cells within ``cell_radius`` (Chebyshev) of a
+    sampled cell.
+
+    ``cell_radius=0`` is the strict sampled-fraction; radius 1 treats a
+    sample as representative of its 8-neighbourhood (a common sensing-
+    range assumption).  ``height`` is required for radius > 0 so vector
+    indices can be mapped back to the grid.
+    """
+    locations = np.unique(np.asarray(locations, dtype=int).ravel())
+    if n <= 0:
+        raise ValueError("zone size must be positive")
+    if locations.size and (locations.min() < 0 or locations.max() >= n):
+        raise IndexError("sampled location outside the zone")
+    if cell_radius == 0:
+        return locations.size / n
+    if height is None or height <= 0 or n % height:
+        raise ValueError("radius > 0 needs the zone height (n % height == 0)")
+    width = n // height
+    covered = np.zeros((height, width), dtype=bool)
+    for k in locations.tolist():
+        i, j = k // height, k % height
+        x0, x1 = max(i - cell_radius, 0), min(i + cell_radius + 1, width)
+        y0, y1 = max(j - cell_radius, 0), min(j + cell_radius + 1, height)
+        covered[y0:y1, x0:x1] = True
+    return float(covered.mean())
+
+
+def largest_gap_radius(
+    locations: np.ndarray, n: int, height: int
+) -> float:
+    """Chebyshev distance from the worst-covered cell to its nearest
+    sample — the zone's largest blind spot."""
+    locations = np.unique(np.asarray(locations, dtype=int).ravel())
+    if locations.size == 0:
+        raise ValueError("no samples; gap radius undefined")
+    if height <= 0 or n % height:
+        raise ValueError("n must be a multiple of height")
+    width = n // height
+    sample_ij = np.array(
+        [(k // height, k % height) for k in locations.tolist()]
+    )
+    worst = 0.0
+    for i in range(width):
+        for j in range(height):
+            d = np.max(
+                np.abs(sample_ij - np.array([i, j])), axis=1
+            ).min()
+            worst = max(worst, float(d))
+    return worst
+
+
+def temporal_coverage(
+    timestamps: np.ndarray, window: tuple[float, float], max_staleness: float
+) -> float:
+    """Fraction of the window during which the freshest sample is no
+    older than ``max_staleness`` seconds.
+
+    This is [28]-style temporal quality: data older than the staleness
+    bound no longer represents the phenomenon.
+    """
+    start, end = window
+    if end <= start:
+        raise ValueError("window must have positive length")
+    if max_staleness <= 0:
+        raise ValueError("staleness bound must be positive")
+    times = np.sort(np.asarray(timestamps, dtype=float).ravel())
+    times = times[(times >= start - max_staleness) & (times <= end)]
+    if times.size == 0:
+        return 0.0
+    covered = 0.0
+    for t in times.tolist():
+        lo = max(t, start)
+        hi = min(t + max_staleness, end)
+        if hi > lo:
+            covered += hi - lo
+    # Overlapping intervals double-count; merge properly.
+    intervals = [
+        (max(t, start), min(t + max_staleness, end)) for t in times.tolist()
+    ]
+    intervals = [iv for iv in intervals if iv[1] > iv[0]]
+    intervals.sort()
+    merged: list[list[float]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    total = sum(hi - lo for lo, hi in merged)
+    return total / (end - start)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Combined spatial+temporal quality of one zone's acquired data."""
+
+    spatial_fraction: float
+    spatial_fraction_r1: float
+    largest_gap: float
+    temporal_fraction: float
+
+    @property
+    def quality(self) -> float:
+        """Scalar quality score: the weaker of the two dimensions."""
+        return min(self.spatial_fraction_r1, self.temporal_fraction)
+
+
+def coverage_report(
+    locations: np.ndarray,
+    timestamps: np.ndarray,
+    n: int,
+    height: int,
+    window: tuple[float, float],
+    max_staleness: float,
+) -> CoverageReport:
+    """One-call coverage assessment for a round's acquisitions."""
+    return CoverageReport(
+        spatial_fraction=spatial_coverage(locations, n),
+        spatial_fraction_r1=spatial_coverage(
+            locations, n, cell_radius=1, height=height
+        ),
+        largest_gap=largest_gap_radius(locations, n, height),
+        temporal_fraction=temporal_coverage(timestamps, window, max_staleness),
+    )

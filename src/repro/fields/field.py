@@ -1,0 +1,158 @@
+"""Two-dimensional spatial fields and their vectorisation (paper eq. 1).
+
+The paper models the quantity being crowdsensed (temperature, pollutant
+concentration, the 'IsIndoor' flag, ...) as a discretised 2-D map
+``f[i, j]`` with ``i in 1..W`` (column / x) and ``j in 1..H`` (row / y),
+flattened to a vector ``x[k]`` by **stacking the columns** ("stack the
+columns of the two-dimensional map to transform into a vector", eq. 1).
+N = W*H and ``x[k]`` is the reading at grid point k.
+
+:class:`SpatialField` wraps the grid with exactly that convention plus
+coordinate conversions, restriction to sub-rectangles (zones), and
+sampling with heterogeneous sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpatialField", "vectorize", "devectorize"]
+
+
+def vectorize(grid: np.ndarray) -> np.ndarray:
+    """Column-stack a ``(H, W)`` grid into a length ``W*H`` vector (eq. 1).
+
+    ``grid[j, i]`` is the value at column i (x), row j (y); the vector
+    index is ``k = i * H + j`` so each column of the map occupies a
+    contiguous run of the vector.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"grid must be 2-D, got shape {grid.shape}")
+    return grid.flatten(order="F")
+
+
+def devectorize(x: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Inverse of :func:`vectorize`: rebuild the ``(H, W)`` grid."""
+    x = np.asarray(x, dtype=float).ravel()
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    if x.size != width * height:
+        raise ValueError(
+            f"vector length {x.size} != width*height = {width * height}"
+        )
+    return x.reshape((height, width), order="F")
+
+
+@dataclass(frozen=True)
+class SpatialField:
+    """A discretised 2-D spatial field map.
+
+    Attributes
+    ----------
+    grid:
+        ``(H, W)`` array; ``grid[j, i]`` is the field value at x=i, y=j.
+    name:
+        Human-readable label carried through logs and benches.
+    """
+
+    grid: np.ndarray
+    name: str = "field"
+
+    def __post_init__(self) -> None:
+        grid = np.asarray(self.grid, dtype=float)
+        if grid.ndim != 2 or grid.size == 0:
+            raise ValueError("grid must be a non-empty 2-D array")
+        object.__setattr__(self, "grid", grid)
+
+    @property
+    def width(self) -> int:
+        """W — number of grid columns (x extent)."""
+        return int(self.grid.shape[1])
+
+    @property
+    def height(self) -> int:
+        """H — number of grid rows (y extent)."""
+        return int(self.grid.shape[0])
+
+    @property
+    def n(self) -> int:
+        """N = W*H, the number of unknown field parameters."""
+        return self.grid.size
+
+    def vector(self) -> np.ndarray:
+        """The column-stacked vector x of eq. (1)."""
+        return vectorize(self.grid)
+
+    @classmethod
+    def from_vector(
+        cls, x: np.ndarray, width: int, height: int, name: str = "field"
+    ) -> "SpatialField":
+        """Rebuild a field from its vectorised form."""
+        return cls(grid=devectorize(x, width, height), name=name)
+
+    def index_of(self, i: int, j: int) -> int:
+        """Vector index k of grid point (x=i, y=j)."""
+        if not (0 <= i < self.width and 0 <= j < self.height):
+            raise IndexError(f"({i}, {j}) outside {self.width}x{self.height} grid")
+        return i * self.height + j
+
+    def coords_of(self, k: int) -> tuple[int, int]:
+        """Grid coordinates (i, j) of vector index k."""
+        if not 0 <= k < self.n:
+            raise IndexError(f"vector index {k} out of range 0..{self.n - 1}")
+        return k // self.height, k % self.height
+
+    def value_at(self, k: int) -> float:
+        """Field value at vector index k (what a sensor at k reads,
+        before noise)."""
+        i, j = self.coords_of(k)
+        return float(self.grid[j, i])
+
+    def sample(
+        self,
+        locations: np.ndarray,
+        noise_std: float | np.ndarray = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Read the field at vector indices ``locations`` with additive
+        Gaussian noise.
+
+        ``noise_std`` may be a scalar (homogeneous sensors) or a per-
+        location vector (heterogeneous sensors, the eq.-12 GLS case).
+        """
+        locations = np.asarray(locations, dtype=int).ravel()
+        values = self.vector()[locations]
+        noise_std = np.asarray(noise_std, dtype=float)
+        if np.any(noise_std < 0):
+            raise ValueError("noise std must be non-negative")
+        if np.all(noise_std == 0):
+            return values
+        rng = np.random.default_rng(rng)
+        return values + rng.standard_normal(values.shape) * noise_std
+
+    def subfield(
+        self, x0: int, y0: int, width: int, height: int
+    ) -> "SpatialField":
+        """Restrict to the rectangle [x0, x0+width) x [y0, y0+height).
+
+        Used by zone partitioning: each LocalCloud covers one zone of the
+        total field (Section 4: "the total spatial field area is
+        subdivided into zones").
+        """
+        if width <= 0 or height <= 0:
+            raise ValueError("subfield dimensions must be positive")
+        if x0 < 0 or y0 < 0 or x0 + width > self.width or y0 + height > self.height:
+            raise ValueError("subfield rectangle outside parent field")
+        return SpatialField(
+            grid=self.grid[y0 : y0 + height, x0 : x0 + width].copy(),
+            name=f"{self.name}[{x0}:{x0 + width},{y0}:{y0 + height}]",
+        )
+
+    def rmse_to(self, other: "SpatialField") -> float:
+        """RMSE between two same-shape fields (reconstruction quality)."""
+        if self.grid.shape != other.grid.shape:
+            raise ValueError("fields have different shapes")
+        return float(np.sqrt(np.mean((self.grid - other.grid) ** 2)))

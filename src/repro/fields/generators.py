@@ -1,0 +1,241 @@
+"""Synthetic spatial-field generators.
+
+The paper's testbed sensed real physical fields (temperature, pollutants,
+fire perimeters) with Android phones; offline we generate synthetic
+ground-truth fields with the same statistical character:
+
+- smooth, low-frequency fields (DCT-compressible) — ambient temperature,
+  humidity across a campus;
+- superpositions of Gaussian plumes — pollutant / heat sources, the fire
+  scenario of Section 1;
+- exactly-K-sparse-in-DCT fields — controlled inputs for solver tests;
+- piecewise-constant indicator fields — the 'IsIndoor' flag map;
+- urban temperature fields with regional variation — multi-zone scenarios
+  where *local* sparsity differs by zone (the hierarchical claim).
+
+Every generator takes an explicit RNG/seed so experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.basis import dct_basis
+from .field import SpatialField
+
+__all__ = [
+    "smooth_field",
+    "gaussian_plume_field",
+    "sparse_dct_field",
+    "indicator_field",
+    "urban_temperature_field",
+    "fire_intensity_field",
+]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    return np.random.default_rng(rng)
+
+
+def _check_dims(width: int, height: int) -> None:
+    if width <= 0 or height <= 0:
+        raise ValueError(f"field dimensions must be positive, got {width}x{height}")
+
+
+def smooth_field(
+    width: int,
+    height: int,
+    *,
+    cutoff: float = 0.15,
+    amplitude: float = 10.0,
+    offset: float = 20.0,
+    rng: np.random.Generator | int | None = None,
+) -> SpatialField:
+    """Random smooth field: low-pass-filtered white noise.
+
+    ``cutoff`` is the retained fraction of spatial frequencies per axis;
+    smaller means smoother (and sparser in the DCT basis).
+    """
+    _check_dims(width, height)
+    if not 0 < cutoff <= 1:
+        raise ValueError(f"cutoff must be in (0, 1], got {cutoff}")
+    gen = _rng(rng)
+    spectrum = gen.standard_normal((height, width))
+    fy = int(np.ceil(cutoff * height))
+    fx = int(np.ceil(cutoff * width))
+    mask = np.zeros((height, width))
+    mask[:fy, :fx] = 1.0
+    from scipy.fft import idctn
+
+    grid = idctn(spectrum * mask, norm="ortho")
+    peak = np.max(np.abs(grid))
+    if peak > 0:
+        grid = grid / peak * amplitude
+    return SpatialField(grid=grid + offset, name="smooth")
+
+
+def gaussian_plume_field(
+    width: int,
+    height: int,
+    *,
+    n_sources: int = 3,
+    max_intensity: float = 100.0,
+    spread: float | tuple[float, float] = (2.0, 8.0),
+    background: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> SpatialField:
+    """Superposition of Gaussian plumes — heat/pollutant point sources.
+
+    Each source gets a random centre, intensity in ``(0.3, 1] *
+    max_intensity`` and isotropic spread drawn from ``spread``.
+    """
+    _check_dims(width, height)
+    if n_sources < 0:
+        raise ValueError("n_sources must be non-negative")
+    gen = _rng(rng)
+    if np.isscalar(spread):
+        lo = hi = float(spread)
+    else:
+        lo, hi = map(float, spread)
+    xs, ys = np.meshgrid(np.arange(width), np.arange(height))
+    grid = np.full((height, width), float(background))
+    for _ in range(n_sources):
+        cx = gen.uniform(0, width - 1)
+        cy = gen.uniform(0, height - 1)
+        sigma = gen.uniform(lo, hi) if hi > lo else lo
+        intensity = gen.uniform(0.3, 1.0) * max_intensity
+        grid += intensity * np.exp(
+            -(((xs - cx) ** 2 + (ys - cy) ** 2) / (2.0 * sigma**2))
+        )
+    return SpatialField(grid=grid, name="plume")
+
+
+def sparse_dct_field(
+    width: int,
+    height: int,
+    *,
+    sparsity: int,
+    amplitude: float = 5.0,
+    low_frequency_fraction: float = 0.25,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[SpatialField, np.ndarray]:
+    """Exactly K-sparse field in the 1-D DCT basis over the vectorised map.
+
+    Returns ``(field, alpha)`` where ``alpha`` is the ground-truth
+    coefficient vector — solver tests check support recovery against it.
+    Coefficient indices are drawn from the lowest
+    ``low_frequency_fraction`` of the spectrum, reflecting physically
+    smooth fields.
+    """
+    _check_dims(width, height)
+    n = width * height
+    if not 0 < sparsity <= n:
+        raise ValueError(f"sparsity must be in 1..{n}, got {sparsity}")
+    if not 0 < low_frequency_fraction <= 1:
+        raise ValueError("low_frequency_fraction must be in (0, 1]")
+    gen = _rng(rng)
+    pool = max(sparsity, int(np.ceil(low_frequency_fraction * n)))
+    support = gen.choice(pool, size=sparsity, replace=False)
+    alpha = np.zeros(n)
+    signs = gen.choice([-1.0, 1.0], size=sparsity)
+    alpha[support] = signs * gen.uniform(0.5, 1.0, size=sparsity) * amplitude
+    phi = dct_basis(n)
+    x = phi @ alpha
+    return SpatialField.from_vector(x, width, height, name="sparse-dct"), alpha
+
+
+def indicator_field(
+    width: int,
+    height: int,
+    *,
+    n_regions: int = 4,
+    region_size: tuple[int, int] = (3, 10),
+    rng: np.random.Generator | int | None = None,
+) -> SpatialField:
+    """Piecewise-constant 0/1 field: e.g. the spatial 'IsIndoor' flag map
+    that Section 3 proposes for earthquake danger assessment."""
+    _check_dims(width, height)
+    if n_regions < 0:
+        raise ValueError("n_regions must be non-negative")
+    lo, hi = region_size
+    if lo <= 0 or hi < lo:
+        raise ValueError("invalid region_size range")
+    gen = _rng(rng)
+    grid = np.zeros((height, width))
+    for _ in range(n_regions):
+        w = int(gen.integers(lo, hi + 1))
+        h = int(gen.integers(lo, hi + 1))
+        x0 = int(gen.integers(0, max(width - w, 0) + 1))
+        y0 = int(gen.integers(0, max(height - h, 0) + 1))
+        grid[y0 : y0 + h, x0 : x0 + w] = 1.0
+    return SpatialField(grid=grid, name="indicator")
+
+
+def urban_temperature_field(
+    width: int,
+    height: int,
+    *,
+    base_temp: float = 18.0,
+    gradient: float = 4.0,
+    n_heat_islands: int = 2,
+    island_intensity: float = 6.0,
+    noise_texture: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> SpatialField:
+    """Urban temperature: large-scale gradient + urban heat islands.
+
+    Different zones of this field have different local sparsity (flat
+    suburbs vs busy heat-island cores), which is exactly the regional
+    fluctuation the hierarchical scheme exploits (FIG5 / CLM-LOCAL).
+    """
+    _check_dims(width, height)
+    gen = _rng(rng)
+    xs, ys = np.meshgrid(np.arange(width), np.arange(height))
+    denom = max(width - 1, 1)
+    grid = base_temp + gradient * xs / denom
+    for _ in range(n_heat_islands):
+        cx = gen.uniform(0, width - 1)
+        cy = gen.uniform(0, height - 1)
+        sigma = gen.uniform(1.5, max(min(width, height) / 4.0, 1.6))
+        grid = grid + island_intensity * np.exp(
+            -(((xs - cx) ** 2 + (ys - cy) ** 2) / (2.0 * sigma**2))
+        )
+    if noise_texture > 0:
+        grid = grid + gen.standard_normal(grid.shape) * noise_texture
+    return SpatialField(grid=grid, name="urban-temperature")
+
+
+def fire_intensity_field(
+    width: int,
+    height: int,
+    *,
+    front_position: float = 0.5,
+    front_width: float = 3.0,
+    peak_intensity: float = 400.0,
+    hotspots: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> SpatialField:
+    """Fire scenario field (Section 1 disaster use case): an advancing
+    fire front (sigmoid in x) plus localized hotspots.
+
+    ``front_position`` in [0, 1] places the front along x; intensity is
+    high behind it and near-ambient ahead of it.
+    """
+    _check_dims(width, height)
+    if not 0 <= front_position <= 1:
+        raise ValueError("front_position must be in [0, 1]")
+    if front_width <= 0:
+        raise ValueError("front_width must be positive")
+    gen = _rng(rng)
+    xs, ys = np.meshgrid(np.arange(width, dtype=float), np.arange(height, dtype=float))
+    front_x = front_position * (width - 1)
+    grid = peak_intensity / (1.0 + np.exp((xs - front_x) / front_width))
+    for _ in range(hotspots):
+        cx = gen.uniform(front_x, width - 1) if width > 1 else 0.0
+        cy = gen.uniform(0, height - 1) if height > 1 else 0.0
+        sigma = gen.uniform(1.0, 3.0)
+        grid += 0.5 * peak_intensity * np.exp(
+            -(((xs - cx) ** 2 + (ys - cy) ** 2) / (2.0 * sigma**2))
+        )
+    return SpatialField(grid=grid, name="fire-intensity")

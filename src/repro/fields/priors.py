@@ -1,0 +1,96 @@
+"""Prior-driven basis learning and sparsity priors for zones.
+
+One of the paper's headline abilities: "ability to use different basis
+and sensing matrix by exploiting prior available data of different
+regions".  A LocalCloud that has accumulated a trace of T past fields can
+
+1. learn a PCA basis in which *future* fields of the same zone are much
+   sparser than in the generic DCT basis (fewer measurements needed);
+2. estimate the zone's typical sparsity level (to set the compression
+   ratio without probing).
+
+These feed the ABL-BASIS bench and the broker's policy layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.basis import dct_basis, pca_basis
+from ..core.sparsity import energy_sparsity
+from .temporal import FieldTrace
+
+__all__ = ["ZonePrior", "learn_prior_basis", "estimate_prior_sparsity", "build_zone_prior"]
+
+
+@dataclass(frozen=True)
+class ZonePrior:
+    """Everything a broker learns about a zone from its history.
+
+    Attributes
+    ----------
+    basis:
+        ``N x N`` orthogonal basis adapted to the zone's field process
+        (leading columns = principal components of past fields).
+    typical_sparsity:
+        Median effective sparsity of past fields in that basis.
+    mean_vector:
+        Time-average field (used to centre measurements before solving,
+        mirroring how the PCA basis was learned on centred traces).
+    """
+
+    basis: np.ndarray
+    typical_sparsity: int
+    mean_vector: np.ndarray
+
+    def center(self, measurements: np.ndarray, locations: np.ndarray) -> np.ndarray:
+        """Subtract the prior mean at the measured locations."""
+        locations = np.asarray(locations, dtype=int)
+        return np.asarray(measurements, dtype=float) - self.mean_vector[locations]
+
+    def uncenter(self, x_hat: np.ndarray) -> np.ndarray:
+        """Add the prior mean back onto a centred reconstruction."""
+        return np.asarray(x_hat, dtype=float) + self.mean_vector
+
+
+def learn_prior_basis(trace: FieldTrace, energy: float = 1.0) -> np.ndarray:
+    """PCA basis from a zone's field history (wraps
+    :func:`repro.core.basis.pca_basis` on the T x N trace matrix)."""
+    if len(trace) < 2:
+        raise ValueError("need at least two snapshots to learn a basis")
+    return pca_basis(trace.matrix(), energy=energy)
+
+
+def estimate_prior_sparsity(
+    trace: FieldTrace, basis: np.ndarray | None = None, energy: float = 0.99
+) -> int:
+    """Median effective sparsity of the trace's snapshots in ``basis``.
+
+    With no basis given, uses the DCT — the broker's default when a zone
+    has history but no learned basis yet.
+    """
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    matrix = trace.matrix()
+    n = matrix.shape[1]
+    if basis is None:
+        basis = dct_basis(n)
+    basis = np.asarray(basis, dtype=float)
+    if basis.shape != (n, n):
+        raise ValueError(f"basis must be ({n}, {n}), got {basis.shape}")
+    mean = matrix.mean(axis=0)
+    sparsities = [
+        max(energy_sparsity(basis.T @ (row - mean), energy), 1) for row in matrix
+    ]
+    return int(np.median(sparsities))
+
+
+def build_zone_prior(trace: FieldTrace, energy: float = 0.99) -> ZonePrior:
+    """Learn the full :class:`ZonePrior` (basis + sparsity + mean) from a
+    zone's history in one call — what a LocalCloud runs overnight."""
+    basis = learn_prior_basis(trace)
+    sparsity = estimate_prior_sparsity(trace, basis=basis, energy=energy)
+    mean = trace.matrix().mean(axis=0)
+    return ZonePrior(basis=basis, typical_sparsity=sparsity, mean_vector=mean)

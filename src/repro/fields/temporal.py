@@ -1,0 +1,153 @@
+"""Spatio-temporal field traces.
+
+Section 4 considers "a set of T spatial fields F = {f_1, .., f_T} taken at
+time instants t_1, .., t_T" used as prior data, and the framework performs
+compressive sensing "both in spatial and temporal dimensions".  This
+module provides the trace container (the paper's T x N matrix X, one
+vectorised field per row) plus simple evolution models that advance a
+field through time with temporal correlation — the property temporal CS
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .field import SpatialField
+
+__all__ = ["FieldTrace", "evolve_field", "drift_plume", "ar1_evolution"]
+
+
+@dataclass
+class FieldTrace:
+    """An ordered sequence of same-shape spatial fields (the matrix X).
+
+    Rows of :meth:`matrix` are vectorised snapshots — exactly the
+    ``T x N`` trace matrix the paper feeds to prior-driven basis learning
+    (see :func:`repro.fields.priors.learn_prior_basis`).
+    """
+
+    snapshots: list[SpatialField] = dataclass_field(default_factory=list)
+    timestamps: list[float] = dataclass_field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.snapshots) != len(self.timestamps):
+            raise ValueError("snapshots and timestamps must align")
+        self._validate_shapes()
+
+    def _validate_shapes(self) -> None:
+        shapes = {f.grid.shape for f in self.snapshots}
+        if len(shapes) > 1:
+            raise ValueError(f"inconsistent snapshot shapes: {shapes}")
+
+    def append(self, snapshot: SpatialField, timestamp: float) -> None:
+        """Append a snapshot; timestamps must be strictly increasing."""
+        if self.timestamps and timestamp <= self.timestamps[-1]:
+            raise ValueError(
+                f"timestamp {timestamp} not after {self.timestamps[-1]}"
+            )
+        if self.snapshots and snapshot.grid.shape != self.snapshots[0].grid.shape:
+            raise ValueError("snapshot shape differs from trace")
+        self.snapshots.append(snapshot)
+        self.timestamps.append(float(timestamp))
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[tuple[float, SpatialField]]:
+        return iter(zip(self.timestamps, self.snapshots))
+
+    @property
+    def t(self) -> int:
+        """T — number of snapshots."""
+        return len(self.snapshots)
+
+    def matrix(self) -> np.ndarray:
+        """The ``T x N`` trace matrix X (each row a vectorised field)."""
+        if not self.snapshots:
+            raise ValueError("empty trace has no matrix")
+        return np.vstack([f.vector() for f in self.snapshots])
+
+    def at(self, index: int) -> SpatialField:
+        """Snapshot by position (negative indices allowed)."""
+        return self.snapshots[index]
+
+    def mean_field(self) -> SpatialField:
+        """Time-averaged field, a common crude prior."""
+        if not self.snapshots:
+            raise ValueError("empty trace has no mean")
+        first = self.snapshots[0]
+        mean = self.matrix().mean(axis=0)
+        return SpatialField.from_vector(
+            mean, first.width, first.height, name="trace-mean"
+        )
+
+
+EvolutionStep = Callable[[SpatialField, float, np.random.Generator], SpatialField]
+
+
+def evolve_field(
+    initial: SpatialField,
+    step: EvolutionStep,
+    steps: int,
+    dt: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> FieldTrace:
+    """Run an evolution model for ``steps`` steps, recording a trace.
+
+    The initial field is the first snapshot (t = 0).
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    gen = np.random.default_rng(rng)
+    trace = FieldTrace(snapshots=[initial], timestamps=[0.0])
+    current = initial
+    for i in range(1, steps + 1):
+        current = step(current, dt, gen)
+        trace.append(current, i * dt)
+    return trace
+
+
+def drift_plume(velocity: tuple[float, float] = (0.5, 0.0), decay: float = 0.98) -> EvolutionStep:
+    """Evolution step that advects the field by ``velocity`` grid cells per
+    unit time (via FFT phase shift) and decays its amplitude — a moving,
+    cooling plume such as smoke drift in the fire scenario."""
+    if not 0 < decay <= 1:
+        raise ValueError("decay must be in (0, 1]")
+
+    def step(current: SpatialField, dt: float, _: np.random.Generator) -> SpatialField:
+        grid = current.grid
+        h, w = grid.shape
+        fy = np.fft.fftfreq(h)[:, None]
+        fx = np.fft.fftfreq(w)[None, :]
+        shift = np.exp(
+            -2j * np.pi * (fx * velocity[0] * dt + fy * velocity[1] * dt)
+        )
+        moved = np.real(np.fft.ifft2(np.fft.fft2(grid) * shift))
+        return SpatialField(grid=moved * decay**dt, name=current.name)
+
+    return step
+
+
+def ar1_evolution(rho: float = 0.95, innovation_std: float = 0.5) -> EvolutionStep:
+    """AR(1) evolution: each cell decays toward the field mean with
+    temporally correlated innovations — the generic temporally-sparse
+    process that motivates temporal compressive sampling."""
+    if not 0 <= rho <= 1:
+        raise ValueError("rho must be in [0, 1]")
+    if innovation_std < 0:
+        raise ValueError("innovation_std must be non-negative")
+
+    def step(current: SpatialField, dt: float, gen: np.random.Generator) -> SpatialField:
+        grid = current.grid
+        mean = grid.mean()
+        noise = gen.standard_normal(grid.shape) * innovation_std * np.sqrt(dt)
+        new = mean + rho**dt * (grid - mean) + noise
+        return SpatialField(grid=new, name=current.name)
+
+    return step

@@ -1,0 +1,550 @@
+"""The NanoCloud broker (Fig. 2, right box).
+
+The broker "performs stochastic (random) spatial sampling in various
+nodes": given N candidate grid cells covered by member nodes (and
+optional infrastructure sensors), it
+
+1. estimates the zone's current sparsity K (from a learned prior, or
+   adaptively from its previous round's coefficients),
+2. picks M via its :class:`repro.middleware.config.CompressionPolicy`,
+3. commands the selected nodes over the bus and collects their reports,
+4. falls back to infrastructure sensors where nodes refuse or are absent
+   ("the broker can also use measurement from infrastructure sensors"),
+5. builds the heterogeneity covariance V from the reported noise levels
+   and reconstructs the zone field with the configured solver (Fig. 6 /
+   eq. 12), and
+6. aggregates the contexts nodes share (group context, Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..context.group import ContextReport, GroupAggregator
+from ..core.basis import basis_by_name, dct2_basis
+from ..core.reconstruction import Reconstruction, reconstruct
+from ..core.sampling import MeasurementPlan
+from ..core.sparsity import energy_sparsity
+from ..energy.accounting import EnergyLedger
+from ..fields.coverage import largest_gap_radius
+from ..fields.field import SpatialField
+from ..fields.priors import ZonePrior
+from ..network.bus import MessageBus
+from ..network.message import Message, MessageKind
+from ..sensors.base import Environment, NodeState, Sensor
+from .config import BrokerConfig
+from .node import MobileNode
+
+__all__ = ["ZoneEstimate", "Broker"]
+
+
+@dataclass
+class ZoneEstimate:
+    """One aggregation round's output for a zone."""
+
+    field: SpatialField
+    reconstruction: Reconstruction
+    plan: MeasurementPlan
+    timestamp: float
+    reports_ok: int
+    reports_refused: int
+    infra_reads: int
+    sparsity_estimate: int
+
+    @property
+    def m(self) -> int:
+        return self.plan.m
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.plan.compression_ratio
+
+
+@dataclass
+class _Collected:
+    """Measurements gathered during one round."""
+
+    locations: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    noise_stds: list[float] = field(default_factory=list)
+
+
+class Broker:
+    """Sink/collector of one NanoCloud.
+
+    Parameters
+    ----------
+    broker_id:
+        Bus address.
+    zone_width / zone_height:
+        Grid dimensions of the zone this broker covers (N = W*H).
+    sensor_name:
+        The physical quantity being aggregated (e.g. ``"temperature"``).
+    config:
+        Solver/policy configuration.
+    criticality:
+        Optional per-cell weight map (vectorised, length N) used to bias
+        node selection toward important cells (Fig. 5's emphasis).
+    """
+
+    def __init__(
+        self,
+        broker_id: str,
+        zone_width: int,
+        zone_height: int,
+        sensor_name: str = "temperature",
+        *,
+        config: BrokerConfig | None = None,
+        criticality: np.ndarray | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not broker_id:
+            raise ValueError("broker_id must be non-empty")
+        if zone_width <= 0 or zone_height <= 0:
+            raise ValueError("zone dimensions must be positive")
+        self.broker_id = broker_id
+        self.zone_width = zone_width
+        self.zone_height = zone_height
+        self.sensor_name = sensor_name
+        self.config = config or BrokerConfig()
+        self.n = zone_width * zone_height
+        if criticality is not None:
+            criticality = np.asarray(criticality, dtype=float).ravel()
+            if criticality.size != self.n:
+                raise ValueError(
+                    f"criticality length {criticality.size} != N={self.n}"
+                )
+        self.criticality = criticality
+        self.members: dict[str, int] = {}  # node_id -> local grid index
+        self.infrastructure: dict[int, Sensor] = {}  # grid index -> sensor
+        self.prior: ZonePrior | None = None
+        self.ledger = EnergyLedger(node_id=broker_id)
+        self.groups = GroupAggregator()
+        self.last_sparsity: int | None = None
+        # config.seed pins the broker exactly (sweeps); otherwise the
+        # deployment-level rng keeps whole-system runs reproducible.
+        self._rng = np.random.default_rng(
+            self.config.seed if self.config.seed is not None else rng
+        )
+        self._basis_cache: np.ndarray | None = None
+        # Rolling memory of past reconstructions (monotone round index,
+        # vectorised field) feeding learn_prior_from_history.
+        self._history: list[tuple[float, np.ndarray]] = []
+        self._rounds_run = 0
+        self.history_limit = 64
+
+    # -- membership -----------------------------------------------------
+
+    def join(self, node_id: str, grid_index: int) -> None:
+        """Admit a node covering one grid cell of the zone."""
+        if not 0 <= grid_index < self.n:
+            raise ValueError(f"grid index {grid_index} outside zone of {self.n}")
+        self.members[node_id] = grid_index
+
+    def leave(self, node_id: str) -> None:
+        self.members.pop(node_id, None)
+
+    def add_infrastructure(self, grid_index: int, sensor: Sensor) -> None:
+        """Install a fixed infrastructure sensor at a grid cell."""
+        if not 0 <= grid_index < self.n:
+            raise ValueError(f"grid index {grid_index} outside zone of {self.n}")
+        self.infrastructure[grid_index] = sensor
+
+    def set_prior(self, prior: ZonePrior) -> None:
+        """Install a learned zone prior (basis + typical sparsity)."""
+        if prior.basis.shape != (self.n, self.n):
+            raise ValueError("prior basis does not match zone size")
+        self.prior = prior
+        self._basis_cache = None
+
+    def learn_prior_from_history(self, min_rounds: int = 8) -> ZonePrior:
+        """Learn and install a :class:`ZonePrior` from this broker's own
+        past reconstructions.
+
+        Section 3: "often prior available data about the local regions
+        can be exploited to improve the sensing efficiency".  The broker
+        *is* the region's historian — every round produces a field
+        estimate, and once enough have accumulated their principal
+        components form a basis adapted to the zone's field process.
+        Call periodically (e.g. nightly); subsequent rounds then use the
+        prior's basis and typical sparsity when ``use_prior_basis`` is
+        set.
+
+        Raises
+        ------
+        RuntimeError
+            If fewer than ``min_rounds`` reconstructions are remembered.
+        """
+        if min_rounds < 2:
+            raise ValueError("need at least two rounds to learn a prior")
+        if len(self._history) < min_rounds:
+            raise RuntimeError(
+                f"only {len(self._history)} remembered rounds; "
+                f"need {min_rounds}"
+            )
+        from ..fields.priors import build_zone_prior
+        from ..fields.temporal import FieldTrace
+
+        trace = FieldTrace()
+        for timestamp, vector in self._history:
+            trace.append(
+                SpatialField.from_vector(
+                    vector, self.zone_width, self.zone_height
+                ),
+                timestamp,
+            )
+        prior = build_zone_prior(trace)
+        self.set_prior(prior)
+        return prior
+
+    def coverage(self) -> set[int]:
+        """Grid cells observable by a member node or infra sensor."""
+        return set(self.members.values()) | set(self.infrastructure)
+
+    # -- internals ------------------------------------------------------
+
+    def _basis(self) -> np.ndarray:
+        if self._basis_cache is None:
+            if self.config.use_prior_basis and self.prior is not None:
+                self._basis_cache = self.prior.basis
+            elif self.config.basis == "dct2":
+                # The broker knows its zone geometry, so it can build the
+                # separable 2-D basis the 1-D registry cannot.
+                self._basis_cache = dct2_basis(
+                    self.zone_width, self.zone_height
+                )
+            else:
+                self._basis_cache = basis_by_name(self.config.basis, self.n)
+        return self._basis_cache
+
+    def _sparsity_estimate(self) -> int:
+        if self.prior is not None:
+            return max(self.prior.typical_sparsity, 1)
+        if self.last_sparsity is not None:
+            return max(self.last_sparsity, 1)
+        # Cold start: assume a moderately sparse field.
+        return max(self.n // 16, 4)
+
+    def _make_plan(self, m: int, candidates: np.ndarray) -> MeasurementPlan:
+        """Select M cells among the covered candidates.
+
+        Criticality weighting (when configured and provided) biases the
+        draw; otherwise uniform random — the paper's stochastic spatial
+        sampling.
+        """
+        m = min(m, candidates.size)
+        weights = None
+        if self.config.criticality_weighting and self.criticality is not None:
+            weights = self.criticality[candidates]
+            if weights.sum() <= 0:
+                weights = None
+
+        def draw() -> np.ndarray:
+            if weights is None:
+                return self._rng.choice(candidates, size=m, replace=False)
+            probabilities = weights / weights.sum()
+            return self._rng.choice(
+                candidates, size=m, replace=False, p=probabilities
+            )
+
+        picked = draw()
+        max_gap = self.config.max_coverage_gap
+        if max_gap is not None:
+            # Coverage guard: random draws occasionally cluster; keep the
+            # best of a few attempts if none meets the bound.
+            best = picked
+            best_gap = largest_gap_radius(picked, self.n, self.zone_height)
+            attempts = 0
+            while best_gap > max_gap and attempts < 8:
+                attempts += 1
+                candidate_plan = draw()
+                gap = largest_gap_radius(
+                    candidate_plan, self.n, self.zone_height
+                )
+                if gap < best_gap:
+                    best, best_gap = candidate_plan, gap
+            picked = best
+        return MeasurementPlan(n=self.n, locations=np.sort(picked))
+
+    def _cell_order(
+        self,
+        cell: int,
+        members_by_cell: dict[int, list[str]],
+        nodes: dict[str, MobileNode],
+    ) -> list[str]:
+        """Order co-located candidates for commanding.
+
+        With ``fair_rotation`` (default) the fullest battery goes first,
+        spreading the sensing burden across a dense crowd — the
+        collaborative energy sharing of [24].  Without batteries (or
+        with rotation disabled) the stored order is used.
+        """
+        candidates = members_by_cell.get(cell, [])
+        if not self.config.fair_rotation or len(candidates) < 2:
+            return candidates
+
+        def charge(node_id: str) -> float:
+            node = nodes.get(node_id)
+            if node is None or node.ledger.battery is None:
+                return 1.0
+            return node.ledger.battery.level
+
+        return sorted(candidates, key=lambda nid: (-charge(nid), nid))
+
+    def _command_node(
+        self,
+        node: MobileNode,
+        grid_index: int,
+        bus: MessageBus,
+        env: Environment,
+        timestamp: float,
+    ) -> dict | None:
+        """One command/telemetry exchange with a member node."""
+        command = Message(
+            kind=MessageKind.SENSE_COMMAND,
+            source=self.broker_id,
+            destination=node.node_id,
+            payload={"sensor": self.sensor_name, "grid_index": grid_index},
+            payload_values=2,
+            timestamp=timestamp,
+        )
+        bus.send(command)
+        # Drain the node's inbox so the command is consumed in order.
+        for message in bus.endpoint(node.node_id).drain():
+            if message.message_id == command.message_id:
+                node.handle_command(message, env, bus)
+        for message in bus.endpoint(self.broker_id).drain():
+            if (
+                message.kind is MessageKind.SENSE_REPORT
+                and message.source == node.node_id
+            ):
+                return message.payload
+        return None
+
+    def _read_infrastructure(
+        self, grid_index: int, env: Environment, timestamp: float
+    ) -> tuple[float, float]:
+        """Telemeter a fixed infrastructure sensor directly."""
+        sensor = self.infrastructure[grid_index]
+        i, j = grid_index // self.zone_height, grid_index % self.zone_height
+        state = NodeState(x=float(i), y=float(j))
+        reading = sensor.read(env, state, timestamp)
+        self.ledger.post("sensing", sensor.spec.energy_per_sample_mj)
+        return reading.value, sensor.spec.noise_std
+
+    # -- the aggregation round -------------------------------------------
+
+    def run_round(
+        self,
+        bus: MessageBus,
+        nodes: dict[str, MobileNode],
+        env: Environment,
+        timestamp: float = 0.0,
+        *,
+        measurements: int | None = None,
+    ) -> ZoneEstimate:
+        """Execute one compressive aggregation round.
+
+        Parameters
+        ----------
+        bus:
+            Transport; the broker and all member nodes must be registered.
+        nodes:
+            Node objects by id (the simulation's handle to make members
+            answer their commands).
+        env:
+            Ground-truth environment the sensors read.
+        measurements:
+            Explicit M override (used by sweeps); default: policy choice.
+
+        Raises
+        ------
+        RuntimeError
+            If no usable measurements could be collected.
+        """
+        k_est = self._sparsity_estimate()
+        m = (
+            measurements
+            if measurements is not None
+            else self.config.policy.measurements(self.n, k_est)
+        )
+        candidates = np.array(sorted(self.coverage()), dtype=int)
+        if candidates.size == 0:
+            raise RuntimeError(f"broker {self.broker_id} has no coverage")
+        plan = self._make_plan(m, candidates)
+
+        members_by_cell: dict[int, list[str]] = {}
+        for node_id, cell in self.members.items():
+            members_by_cell.setdefault(cell, []).append(node_id)
+
+        collected = _Collected()
+        refused = 0
+        infra_reads = 0
+        for cell in plan.locations.tolist():
+            value = None
+            noise_std = None
+            cell_values: list[float] = []
+            cell_stds: list[float] = []
+            for node_id in self._cell_order(cell, members_by_cell, nodes):
+                node = nodes.get(node_id)
+                if node is None:
+                    continue
+                payload = self._command_node(node, cell, bus, env, timestamp)
+                if payload and payload.get("ok"):
+                    cell_values.append(float(payload["value"]))
+                    cell_stds.append(float(payload.get("noise_std", 0.0)))
+                    if self.config.suppress_redundant:
+                        # Aquiba-style suppression [25]: one answer per
+                        # cell is enough; spare the co-located phones.
+                        break
+                else:
+                    refused += 1
+            if cell_values:
+                # Multiple (unsuppressed) co-located reports average to
+                # a lower-noise virtual reading: std scales as 1/sqrt(r).
+                value = float(np.mean(cell_values))
+                noise_std = float(
+                    np.sqrt(np.mean(np.square(cell_stds)))
+                    / np.sqrt(len(cell_stds))
+                )
+            if value is None and cell in self.infrastructure:
+                value, noise_std = self._read_infrastructure(
+                    cell, env, timestamp
+                )
+                infra_reads += 1
+            if value is not None:
+                collected.locations.append(cell)
+                collected.values.append(value)
+                collected.noise_stds.append(noise_std or 0.0)
+
+        if not collected.locations:
+            raise RuntimeError(
+                f"broker {self.broker_id} collected no measurements "
+                f"(all {plan.m} commands refused and no infrastructure)"
+            )
+
+        locations = np.asarray(collected.locations, dtype=int)
+        values = np.asarray(collected.values, dtype=float)
+        covariance = None
+        if self.config.use_gls and any(s > 0 for s in collected.noise_stds):
+            stds = np.maximum(np.asarray(collected.noise_stds), 1e-9)
+            covariance = np.diag(stds**2)
+
+        phi = self._basis()
+        if self.prior is not None and self.config.use_prior_basis:
+            centered = self.prior.center(values, locations)
+            result = reconstruct(
+                centered, locations, phi,
+                solver=self.config.solver,
+                sparsity=max(k_est, 4),
+                covariance=covariance,
+            )
+            x_hat = self.prior.uncenter(result.x_hat)
+        else:
+            result = reconstruct(
+                values, locations, phi,
+                solver=self.config.solver,
+                sparsity=max(k_est, 4),
+                covariance=covariance,
+                center=True,  # physical fields: baseline + sparse variation
+            )
+            x_hat = result.x_hat
+
+        # Adapt the sparsity estimate for the next round.  Shrink toward
+        # the effective sparsity actually used; but if the fit left a
+        # substantial residual at the measured cells, the field is richer
+        # than K — grow the estimate instead (a K-capped solve can never
+        # reveal more than K coefficients by itself).
+        fitted = x_hat[locations]
+        norm_values = max(float(np.linalg.norm(values)), 1e-300)
+        residual_rel = float(np.linalg.norm(values - fitted)) / norm_values
+        noise_floor = 0.0
+        if collected.noise_stds:
+            noise_floor = float(
+                np.linalg.norm(collected.noise_stds)
+            ) / norm_values
+        if residual_rel > max(2.0 * noise_floor, 0.02):
+            self.last_sparsity = min(
+                int(np.ceil(k_est * 1.5)) + 1, max(self.n // 2, 1)
+            )
+        else:
+            # Shrink toward the coefficients that actually carry energy.
+            # The DC term of a physical field dwarfs everything else, so
+            # measure the energy sparsity of the *remaining* spectrum and
+            # count DC separately — mirroring ZoneGrid.local_sparsities.
+            coefficients = result.coefficients.copy()
+            if coefficients.size:
+                coefficients[np.argmax(np.abs(coefficients))] = 0.0
+            self.last_sparsity = max(
+                energy_sparsity(coefficients, energy=0.99) + 1, 1
+            )
+        zone_field = SpatialField.from_vector(
+            x_hat, self.zone_width, self.zone_height,
+            name=f"{self.sensor_name}@{self.broker_id}",
+        )
+        self._rounds_run += 1
+        self._history.append((float(self._rounds_run), x_hat.copy()))
+        if len(self._history) > self.history_limit:
+            self._history.pop(0)
+        actual_plan = MeasurementPlan(n=self.n, locations=locations)
+        return ZoneEstimate(
+            field=zone_field,
+            reconstruction=result,
+            plan=actual_plan,
+            timestamp=timestamp,
+            reports_ok=len(collected.locations) - infra_reads,
+            reports_refused=refused,
+            infra_reads=infra_reads,
+            sparsity_estimate=k_est,
+        )
+
+    # -- context aggregation ----------------------------------------------
+
+    def process_inbox(self, bus: MessageBus, now: float) -> int:
+        """Consume pending CONTEXT_SHARE messages into the group
+        aggregator; returns how many were processed."""
+        processed = 0
+        remaining = []
+        for message in bus.endpoint(self.broker_id).drain():
+            if message.kind is MessageKind.CONTEXT_SHARE:
+                self.groups.add(
+                    ContextReport(
+                        node_id=message.source,
+                        timestamp=message.timestamp,
+                        kind=str(message.payload["kind"]),
+                        value=message.payload["value"],
+                    )
+                )
+                processed += 1
+            else:
+                remaining.append(message)
+        # Non-context messages go back for their actual consumers.
+        for message in remaining:
+            bus.endpoint(self.broker_id).inbox.append(message)
+        return processed
+
+    def disseminate(
+        self,
+        bus: MessageBus,
+        payload: dict,
+        payload_values: int,
+        timestamp: float,
+    ) -> int:
+        """Push collective information back to all members (the downlink
+        of the paper's bidirectional NanoCloud)."""
+        sent = 0
+        for node_id in sorted(self.members):
+            bus.send(
+                Message(
+                    kind=MessageKind.DISSEMINATE,
+                    source=self.broker_id,
+                    destination=node_id,
+                    payload=payload,
+                    payload_values=payload_values,
+                    timestamp=timestamp,
+                )
+            )
+            sent += 1
+        return sent

@@ -1,0 +1,173 @@
+"""Incentive mechanisms for participation (Section 5, Incentive
+Mechanisms).
+
+The paper surveys three mechanism families it considers for the
+framework; all three are implemented so the collaboration layer can
+recruit nodes economically:
+
+- recruitment selection [21]: pick well-suited participants by a
+  coverage/quality/cost score;
+- sealed-bid second-price (Vickrey) auction [4]: truthful single-task
+  allocation;
+- reverse auction with dynamic price (RADP-VPC) [9]: per-round
+  procurement of k readings with virtual participation credit that keeps
+  losing sellers from dropping out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Bid",
+    "AuctionResult",
+    "second_price_auction",
+    "ReverseAuction",
+    "RecruitmentSelector",
+    "Candidate",
+]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One node's offer to perform a sensing task for a price."""
+
+    node_id: str
+    price: float
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("bid needs a node id")
+        if self.price < 0:
+            raise ValueError("price must be non-negative")
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Outcome of one auction round."""
+
+    winners: tuple[str, ...]
+    payments: dict[str, float]
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(self.payments.values()))
+
+
+def second_price_auction(bids: list[Bid]) -> AuctionResult:
+    """Sealed-bid second-price (Vickrey) auction for one sensing task.
+
+    The lowest bidder wins and is paid the second-lowest bid — the
+    incentive-compatible rule of [4].  A single bid wins at its own price.
+    """
+    if not bids:
+        raise ValueError("auction needs at least one bid")
+    ordered = sorted(bids, key=lambda b: (b.price, b.node_id))
+    winner = ordered[0]
+    payment = ordered[1].price if len(ordered) > 1 else winner.price
+    return AuctionResult(
+        winners=(winner.node_id,), payments={winner.node_id: payment}
+    )
+
+
+@dataclass
+class ReverseAuction:
+    """Reverse auction with dynamic price and virtual participation
+    credit (RADP-VPC, after [9]).
+
+    Each round the buyer (broker) procures ``k`` readings: the ``k``
+    cheapest *effective* bids win, where effective price = bid price
+    minus accumulated virtual credit.  Losers earn ``credit_per_loss`` so
+    persistent participation eventually wins — preventing the
+    death-spiral where priced-out sellers leave the market.
+    Winners are paid their *bid* price (pay-as-bid) and their credit
+    resets.
+    """
+
+    credit_per_loss: float = 1.0
+    credits: dict[str, float] = field(default_factory=dict)
+    rounds_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.credit_per_loss < 0:
+            raise ValueError("credit must be non-negative")
+
+    def effective_price(self, bid: Bid) -> float:
+        return bid.price - self.credits.get(bid.node_id, 0.0)
+
+    def run_round(self, bids: list[Bid], k: int) -> AuctionResult:
+        """Procure ``k`` readings from the submitted bids."""
+        if k < 1:
+            raise ValueError("must procure at least one reading")
+        if not bids:
+            raise ValueError("auction round needs bids")
+        seen = set()
+        for bid in bids:
+            if bid.node_id in seen:
+                raise ValueError(f"duplicate bid from {bid.node_id}")
+            seen.add(bid.node_id)
+        k = min(k, len(bids))
+        ordered = sorted(
+            bids, key=lambda b: (self.effective_price(b), b.node_id)
+        )
+        winners = ordered[:k]
+        losers = ordered[k:]
+        payments = {b.node_id: b.price for b in winners}
+        for bid in winners:
+            self.credits[bid.node_id] = 0.0
+        for bid in losers:
+            self.credits[bid.node_id] = (
+                self.credits.get(bid.node_id, 0.0) + self.credit_per_loss
+            )
+        self.rounds_run += 1
+        return AuctionResult(
+            winners=tuple(b.node_id for b in winners), payments=payments
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A node considered by the recruitment framework [21]."""
+
+    node_id: str
+    coverage: float  # fraction of the target area/time it can cover
+    quality: float  # sensor quality score (e.g. 1/noise multiplier)
+    cost: float  # asking price or energy burden
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.coverage <= 1:
+            raise ValueError("coverage must be in [0, 1]")
+        if self.quality < 0 or self.cost < 0:
+            raise ValueError("quality and cost must be non-negative")
+
+
+@dataclass
+class RecruitmentSelector:
+    """Score-based participant selection.
+
+    Score = coverage^a * quality^b / (cost + eps)^c; the exponents weight
+    the campaign's priorities.  :meth:`select` returns the top-k
+    candidates meeting the minimum coverage requirement.
+    """
+
+    coverage_weight: float = 1.0
+    quality_weight: float = 1.0
+    cost_weight: float = 1.0
+    min_coverage: float = 0.0
+
+    def score(self, candidate: Candidate) -> float:
+        eps = 1e-9
+        return (
+            (candidate.coverage + eps) ** self.coverage_weight
+            * (candidate.quality + eps) ** self.quality_weight
+            / (candidate.cost + eps) ** self.cost_weight
+        )
+
+    def select(self, candidates: list[Candidate], k: int) -> list[Candidate]:
+        if k < 1:
+            raise ValueError("must select at least one participant")
+        eligible = [
+            c for c in candidates if c.coverage >= self.min_coverage
+        ]
+        eligible.sort(key=lambda c: (-self.score(c), c.node_id))
+        return eligible[:k]

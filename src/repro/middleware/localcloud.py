@@ -1,0 +1,177 @@
+"""LocalCloud: a zone's head broker over several NanoClouds.
+
+"The head broker in the LCs in turn communicate with other LCs and the
+public cloud in the next hierarchy ... This hierarchy allows the nodes
+to collaborate through the broker ... and concatenate the results of the
+NCs for the local region" (Section 3).  A LocalCloud covers one zone of
+the global field; the zone is split column-wise into NC sub-zones, each
+aggregated independently, and the head concatenates the sub-results into
+the zone estimate it reports upward as a compressed coefficient payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fields.field import SpatialField
+from ..network.bus import MessageBus
+from ..network.links import LinkModel, WIFI
+from ..network.message import Message, MessageKind
+from ..sensors.base import Environment
+from .broker import ZoneEstimate
+from .config import BrokerConfig
+from .nanocloud import NanoCloud
+
+__all__ = ["LocalCloudResult", "LocalCloud"]
+
+
+@dataclass
+class LocalCloudResult:
+    """One LC round: the assembled zone field plus per-NC diagnostics."""
+
+    field: SpatialField
+    nc_estimates: list[ZoneEstimate]
+    timestamp: float
+
+    @property
+    def total_measurements(self) -> int:
+        return sum(e.m for e in self.nc_estimates)
+
+    @property
+    def coefficients_reported(self) -> int:
+        """Scalars the LC forwards upward (support indices + values)."""
+        return sum(
+            2 * int(e.reconstruction.support.size) for e in self.nc_estimates
+        )
+
+
+class LocalCloud:
+    """One zone's LocalCloud: head broker + NanoClouds."""
+
+    def __init__(
+        self,
+        lc_id: str,
+        bus: MessageBus,
+        zone_width: int,
+        zone_height: int,
+        *,
+        origin: tuple[int, int] = (0, 0),
+        n_nanoclouds: int = 1,
+        nodes_per_nc: int = 32,
+        sensor_name: str = "temperature",
+        config: BrokerConfig | None = None,
+        criticality: np.ndarray | None = None,
+        uplink: LinkModel = WIFI,
+        auto_link: bool = False,
+        cell_size_m: float = 10.0,
+        heterogeneous: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if zone_width % n_nanoclouds:
+            raise ValueError(
+                f"zone width {zone_width} does not split into "
+                f"{n_nanoclouds} NanoCloud columns"
+            )
+        self.lc_id = lc_id
+        self.head_address = f"{lc_id}/head"
+        self.bus = bus
+        self.zone_width = zone_width
+        self.zone_height = zone_height
+        self.origin = origin
+        self.uplink = uplink
+        bus.register(self.head_address, uplink)
+        gen = np.random.default_rng(rng)
+        nc_width = zone_width // n_nanoclouds
+        self.nanoclouds: list[NanoCloud] = []
+        ox, oy = origin
+        for idx in range(n_nanoclouds):
+            # Slice the zone-local criticality vector for this NC column.
+            nc_criticality = None
+            if criticality is not None:
+                full = np.asarray(criticality, dtype=float).ravel()
+                cells = []
+                for i in range(idx * nc_width, (idx + 1) * nc_width):
+                    cells.extend(
+                        range(i * zone_height, (i + 1) * zone_height)
+                    )
+                nc_criticality = full[np.asarray(cells, dtype=int)]
+            self.nanoclouds.append(
+                NanoCloud.build(
+                    f"{lc_id}/nc{idx}",
+                    bus,
+                    nc_width,
+                    zone_height,
+                    nodes_per_nc,
+                    sensor_name=sensor_name,
+                    origin=(ox + idx * nc_width, oy),
+                    config=config,
+                    criticality=nc_criticality,
+                    auto_link=auto_link,
+                    cell_size_m=cell_size_m,
+                    heterogeneous=heterogeneous,
+                    rng=gen.integers(2**31),
+                )
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(nc.n_nodes for nc in self.nanoclouds)
+
+    def run_round(
+        self,
+        env: Environment,
+        timestamp: float = 0.0,
+        measurements_per_nc: list[int] | None = None,
+    ) -> LocalCloudResult:
+        """Aggregate every NanoCloud and concatenate their sub-fields.
+
+        Each NC broker forwards its result to the head as an AGGREGATE
+        message carrying the compressed coefficient payload (metered).
+        """
+        if measurements_per_nc is not None and len(measurements_per_nc) != len(
+            self.nanoclouds
+        ):
+            raise ValueError("one measurement budget per NanoCloud required")
+        estimates: list[ZoneEstimate] = []
+        columns: list[np.ndarray] = []
+        for idx, nc in enumerate(self.nanoclouds):
+            m = measurements_per_nc[idx] if measurements_per_nc else None
+            estimate = nc.run_round(env, timestamp, measurements=m)
+            estimates.append(estimate)
+            columns.append(estimate.field.grid)
+            support = int(estimate.reconstruction.support.size)
+            self.bus.send(
+                Message(
+                    kind=MessageKind.AGGREGATE,
+                    source=nc.broker.broker_id,
+                    destination=self.head_address,
+                    payload={"nc": idx, "support": support},
+                    payload_values=max(2 * support, 1),
+                    timestamp=timestamp,
+                )
+            )
+        self.bus.endpoint(self.head_address).drain()
+        zone_grid = np.hstack(columns)
+        field = SpatialField(
+            grid=zone_grid, name=f"zone@{self.lc_id}"
+        )
+        return LocalCloudResult(
+            field=field, nc_estimates=estimates, timestamp=timestamp
+        )
+
+    def report_upward(
+        self, cloud_address: str, result: LocalCloudResult, timestamp: float
+    ) -> None:
+        """Send the zone result to the public cloud (compressed payload)."""
+        self.bus.send(
+            Message(
+                kind=MessageKind.AGGREGATE,
+                source=self.head_address,
+                destination=cloud_address,
+                payload={"lc": self.lc_id},
+                payload_values=max(result.coefficients_reported, 1),
+                timestamp=timestamp,
+            )
+        )

@@ -1,0 +1,190 @@
+"""Participatory vs opportunistic sensing paradigms (Section 1).
+
+The paper frames the field's two modes and its own third way:
+
+- **participatory sensing** — "the user is directly involved in the
+  sensing activity": each request interrupts a human, who may decline or
+  answer late;
+- **opportunistic sensing** — "delegating and automating the sensing
+  task to the mobile phone sensing system": the phone answers
+  automatically, but owners cap how much background duty it may burn;
+- **collaborative sensing** — the paper's proposal: brokers draw from a
+  mixed crowd of both kinds, routing requests preferentially to
+  opportunistic devices and falling back on participatory users when
+  coverage demands it.
+
+A :class:`ParticipationModel` wraps a node's compliance behaviour; the
+:class:`MixedCrowd` helper assigns models across a fleet and predicts a
+request's outcome (answered / declined / late) so brokers and benches
+can quantify coverage and latency per paradigm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RequestOutcome",
+    "ParticipationModel",
+    "participatory",
+    "opportunistic",
+    "MixedCrowd",
+]
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Result of asking one node for one measurement."""
+
+    answered: bool
+    delay_s: float
+    reason: str  # "auto", "user-accepted", "user-declined", "duty-exhausted"
+
+
+@dataclass
+class ParticipationModel:
+    """Compliance behaviour of one node.
+
+    Attributes
+    ----------
+    mode:
+        ``"participatory"`` or ``"opportunistic"``.
+    acceptance_probability:
+        Probability a participatory user answers a given request
+        (opportunistic devices always answer while duty remains).
+    response_delay_s:
+        (mean, std) of a participatory user's response latency;
+        opportunistic responses are effectively immediate.
+    duty_budget:
+        Maximum automatic answers an opportunistic device grants per
+        epoch (battery-protection cap set by the owner); ``None`` means
+        unlimited.
+    """
+
+    mode: str
+    acceptance_probability: float = 1.0
+    response_delay_s: tuple[float, float] = (0.0, 0.0)
+    duty_budget: int | None = None
+    _duty_used: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("participatory", "opportunistic"):
+            raise ValueError(f"unknown participation mode {self.mode!r}")
+        if not 0.0 <= self.acceptance_probability <= 1.0:
+            raise ValueError("acceptance probability must be in [0, 1]")
+        mean, std = self.response_delay_s
+        if mean < 0 or std < 0:
+            raise ValueError("delay parameters must be non-negative")
+        if self.duty_budget is not None and self.duty_budget < 0:
+            raise ValueError("duty budget must be non-negative")
+
+    def request(self, rng: np.random.Generator) -> RequestOutcome:
+        """Simulate one measurement request against this node."""
+        if self.mode == "opportunistic":
+            if (
+                self.duty_budget is not None
+                and self._duty_used >= self.duty_budget
+            ):
+                return RequestOutcome(
+                    answered=False, delay_s=0.0, reason="duty-exhausted"
+                )
+            self._duty_used += 1
+            return RequestOutcome(answered=True, delay_s=0.0, reason="auto")
+        if rng.random() >= self.acceptance_probability:
+            return RequestOutcome(
+                answered=False, delay_s=0.0, reason="user-declined"
+            )
+        mean, std = self.response_delay_s
+        delay = max(float(rng.normal(mean, std)), 0.0) if std > 0 else mean
+        return RequestOutcome(
+            answered=True, delay_s=delay, reason="user-accepted"
+        )
+
+    def reset_epoch(self) -> None:
+        """Refresh the opportunistic duty budget (e.g. nightly charge)."""
+        self._duty_used = 0
+
+
+def participatory(
+    acceptance_probability: float = 0.6,
+    response_delay_s: tuple[float, float] = (20.0, 10.0),
+) -> ParticipationModel:
+    """A typical human-in-the-loop participant."""
+    return ParticipationModel(
+        mode="participatory",
+        acceptance_probability=acceptance_probability,
+        response_delay_s=response_delay_s,
+    )
+
+
+def opportunistic(duty_budget: int | None = 50) -> ParticipationModel:
+    """A typical automated background-sensing device."""
+    return ParticipationModel(mode="opportunistic", duty_budget=duty_budget)
+
+
+class MixedCrowd:
+    """A fleet with a given opportunistic share, queried like a broker
+    would: opportunistic devices first, participatory fallback."""
+
+    def __init__(
+        self,
+        node_ids: list[str],
+        opportunistic_share: float,
+        *,
+        duty_budget: int | None = 50,
+        acceptance_probability: float = 0.6,
+        response_delay_s: tuple[float, float] = (20.0, 10.0),
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("crowd needs at least one node")
+        if not 0.0 <= opportunistic_share <= 1.0:
+            raise ValueError("opportunistic share must be in [0, 1]")
+        self._rng = np.random.default_rng(rng)
+        self.models: dict[str, ParticipationModel] = {}
+        for node_id in node_ids:
+            if self._rng.random() < opportunistic_share:
+                self.models[node_id] = opportunistic(duty_budget)
+            else:
+                self.models[node_id] = participatory(
+                    acceptance_probability, response_delay_s
+                )
+
+    def request(self, node_id: str) -> RequestOutcome:
+        try:
+            model = self.models[node_id]
+        except KeyError:
+            raise KeyError(f"{node_id!r} not in crowd") from None
+        return model.request(self._rng)
+
+    def gather(self, m: int) -> tuple[int, float, int]:
+        """Ask nodes (opportunistic first) until ``m`` answers or the
+        crowd is exhausted.
+
+        Returns ``(answers, worst_delay_s, requests_issued)`` — the
+        coverage/latency/overhead triple the CLM-PART bench reports.
+        """
+        if m < 1:
+            raise ValueError("must request at least one answer")
+        ordered = sorted(
+            self.models,
+            key=lambda nid: (self.models[nid].mode != "opportunistic", nid),
+        )
+        answers = 0
+        worst_delay = 0.0
+        issued = 0
+        for node_id in ordered:
+            if answers >= m:
+                break
+            issued += 1
+            outcome = self.request(node_id)
+            if outcome.answered:
+                answers += 1
+                worst_delay = max(worst_delay, outcome.delay_s)
+        return answers, worst_delay, issued
+
+    def reset_epoch(self) -> None:
+        for model in self.models.values():
+            model.reset_epoch()

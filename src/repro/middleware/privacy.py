@@ -1,0 +1,98 @@
+"""Privacy policy and enforcement (Section 5, Privacy Regulation).
+
+The paper adopts "transparency, full user control, and encryption of the
+data that is shared.  User can fully set or control their preferences,
+enable or disable features, control of the type of sensors and parameter
+that can be shared ... In the worst case, the user can opt-out."  This
+module implements exactly that control surface: a per-user policy that
+the node consults before sharing any reading or context, with optional
+granularity reduction (quantising values so exact positions/levels are
+not disclosed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..sensors.base import SensorReading
+
+__all__ = ["PrivacyPolicy", "PrivacyAudit"]
+
+
+@dataclass
+class PrivacyPolicy:
+    """One user's sharing preferences.
+
+    Attributes
+    ----------
+    opted_out:
+        Master switch; when True nothing leaves the device.
+    allowed_sensors:
+        Sensor names the user permits to share; ``None`` permits all.
+    blocked_sensors:
+        Explicitly forbidden sensors (wins over allowed).
+    share_contexts:
+        Whether derived contexts (IsDriving etc.) may be shared — users
+        may allow raw temperature but not activity inference.
+    quantization:
+        Per-sensor value granularity; readings are rounded to the nearest
+        multiple before sharing (0 = share exact values).
+    """
+
+    opted_out: bool = False
+    allowed_sensors: set[str] | None = None
+    blocked_sensors: set[str] = field(default_factory=set)
+    share_contexts: bool = True
+    quantization: dict[str, float] = field(default_factory=dict)
+
+    def may_share(self, sensor_name: str) -> bool:
+        """Whether readings of this sensor may leave the device."""
+        if self.opted_out:
+            return False
+        if sensor_name in self.blocked_sensors:
+            return False
+        if self.allowed_sensors is not None:
+            return sensor_name in self.allowed_sensors
+        return True
+
+    def filter_reading(self, reading: SensorReading) -> SensorReading | None:
+        """Apply the policy to one reading.
+
+        Returns ``None`` when sharing is forbidden; otherwise the reading,
+        quantised to the configured granularity.
+        """
+        if not self.may_share(reading.sensor):
+            return None
+        step = self.quantization.get(reading.sensor, 0.0)
+        if step > 0:
+            return replace(reading, value=round(reading.value / step) * step)
+        return reading
+
+    def opt_out(self) -> None:
+        """The worst-case user action the paper guarantees."""
+        self.opted_out = True
+
+    def opt_in(self) -> None:
+        self.opted_out = False
+
+
+@dataclass
+class PrivacyAudit:
+    """Transparency log: counts of shared vs withheld readings per sensor.
+
+    "Transparency" is one of the paper's three privacy pillars; nodes
+    keep this audit so the user can inspect exactly what left the device.
+    """
+
+    shared: dict[str, int] = field(default_factory=dict)
+    withheld: dict[str, int] = field(default_factory=dict)
+
+    def record(self, sensor_name: str, was_shared: bool) -> None:
+        book = self.shared if was_shared else self.withheld
+        book[sensor_name] = book.get(sensor_name, 0) + 1
+
+    def total_shared(self) -> int:
+        return sum(self.shared.values())
+
+    def total_withheld(self) -> int:
+        return sum(self.withheld.values())

@@ -1,0 +1,145 @@
+"""Query and filtering engine.
+
+"SenseDroid supports on-demand query and filtering functionality from
+different participating users.  Filtering helps deliver only the
+relevant information to collaborating users" (Section 3).  Queries are
+predicate trees over reading attributes, evaluable both on-demand
+(against the storage layer) and as standing filters on live streams
+(subscription filtering at the broker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Iterable
+
+from ..sensors.base import SensorReading
+
+__all__ = ["Predicate", "Query", "StandingQuery", "FilterEngine"]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One attribute comparison, e.g. ``Predicate("value", ">", 30.0)``.
+
+    ``attribute`` must be a field of :class:`SensorReading`
+    (``sensor``, ``timestamp``, ``value``, ``unit``, ``node_id``).
+    """
+
+    attribute: str
+    op: str
+    operand: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(
+                f"unknown operator {self.op!r}; expected one of {sorted(_OPS)}"
+            )
+
+    def matches(self, reading: SensorReading) -> bool:
+        try:
+            value = getattr(reading, self.attribute)
+        except AttributeError:
+            raise AttributeError(
+                f"readings have no attribute {self.attribute!r}"
+            ) from None
+        try:
+            return bool(_OPS[self.op](value, self.operand))
+        except TypeError:
+            return False  # e.g. comparing str value with numeric operand
+
+
+@dataclass(frozen=True)
+class Query:
+    """Conjunction of predicates with optional result shaping."""
+
+    predicates: tuple[Predicate, ...] = ()
+    limit: int | None = None
+    newest_first: bool = True
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be >= 1")
+
+    def matches(self, reading: SensorReading) -> bool:
+        return all(p.matches(reading) for p in self.predicates)
+
+    def run(self, readings: Iterable[SensorReading]) -> list[SensorReading]:
+        """Evaluate against a collection of readings."""
+        hits = [r for r in readings if self.matches(r)]
+        hits.sort(key=lambda r: r.timestamp, reverse=self.newest_first)
+        if self.limit is not None:
+            hits = hits[: self.limit]
+        return hits
+
+
+@dataclass
+class StandingQuery:
+    """A live filter: matching readings are handed to the callback."""
+
+    query: Query
+    subscriber: str
+    callback: Callable[[SensorReading], None]
+    delivered: int = 0
+
+    def offer(self, reading: SensorReading) -> bool:
+        """Test one live reading; deliver on match."""
+        if self.query.matches(reading):
+            self.callback(reading)
+            self.delivered += 1
+            return True
+        return False
+
+
+@dataclass
+class FilterEngine:
+    """Broker-side fan-out of live readings through standing queries.
+
+    "Filtering helps deliver only the relevant information" — without it
+    every subscriber would receive every reading; the engine counts both
+    offered and delivered readings so benches can report the reduction.
+    """
+
+    standing: list[StandingQuery] = dataclass_field(default_factory=list)
+    offered: int = 0
+    delivered: int = 0
+
+    def register(self, standing_query: StandingQuery) -> None:
+        self.standing.append(standing_query)
+
+    def unregister(self, subscriber: str) -> int:
+        """Drop all standing queries of one subscriber."""
+        before = len(self.standing)
+        self.standing = [
+            s for s in self.standing if s.subscriber != subscriber
+        ]
+        return before - len(self.standing)
+
+    def ingest(self, reading: SensorReading) -> int:
+        """Offer one live reading to every standing query; returns the
+        number of deliveries."""
+        self.offered += 1
+        count = 0
+        for standing_query in self.standing:
+            if standing_query.offer(reading):
+                count += 1
+        self.delivered += count
+        return count
+
+    @property
+    def suppression_ratio(self) -> float:
+        """Fraction of (reading, subscriber) pairs filtered out."""
+        pairs = self.offered * max(len(self.standing), 1)
+        if pairs == 0:
+            return 0.0
+        return 1.0 - self.delivered / pairs

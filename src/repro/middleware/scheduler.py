@@ -1,0 +1,140 @@
+"""Adaptive sensor scheduling (Section 5, Energy Efficiency).
+
+The paper lists "sensor scheduling, adaptive sampling, and compressive
+sampling and their novel combinations" as the energy-efficiency research
+direction.  This module implements the two schedulers that combine with
+compressive probes:
+
+- :class:`AdaptiveDutyCycle` — closed-loop control of a probe's duty
+  cycle: raise it while reconstruction error exceeds the target, lower
+  it while there is slack.  This is the "tunable approximate processing"
+  loop at node level.
+- :class:`RoundRobinScheduler` — broker-side rotation of which member
+  nodes carry the sensing burden each round, equalising battery drain
+  across the NanoCloud (collaborative energy sharing, cf. [24]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AdaptiveDutyCycle", "RoundRobinScheduler"]
+
+
+@dataclass
+class AdaptiveDutyCycle:
+    """Error-feedback controller for a compressive probe's duty cycle.
+
+    Multiplicative-increase / multiplicative-decrease on the measured
+    reconstruction error: robust to the error's unknown scale and
+    guarantees the duty cycle stays within the configured bounds.
+    """
+
+    target_error: float
+    duty_cycle: float = 0.25
+    min_duty: float = 0.05
+    max_duty: float = 1.0
+    increase_factor: float = 1.5
+    decrease_factor: float = 0.8
+    hysteresis: float = 0.2
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target_error <= 0:
+            raise ValueError("target_error must be positive")
+        if not 0 < self.min_duty <= self.duty_cycle <= self.max_duty <= 1:
+            raise ValueError("need 0 < min <= duty <= max <= 1")
+        if self.increase_factor <= 1 or not 0 < self.decrease_factor < 1:
+            raise ValueError("factors must satisfy inc > 1 and 0 < dec < 1")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+
+    def update(self, observed_error: float) -> float:
+        """Feed one round's reconstruction error; returns the new duty
+        cycle to use next round."""
+        if observed_error < 0:
+            raise ValueError("error must be non-negative")
+        self.history.append(float(observed_error))
+        if observed_error > self.target_error * (1 + self.hysteresis):
+            self.duty_cycle = min(
+                self.duty_cycle * self.increase_factor, self.max_duty
+            )
+        elif observed_error < self.target_error * (1 - self.hysteresis):
+            self.duty_cycle = max(
+                self.duty_cycle * self.decrease_factor, self.min_duty
+            )
+        return self.duty_cycle
+
+    def samples_for(self, n: int) -> int:
+        """Current M for a window/zone of N instants/cells."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return max(int(np.ceil(self.duty_cycle * n)), 1)
+
+
+@dataclass
+class RoundRobinScheduler:
+    """Rotates sensing duty across member nodes to equalise battery drain.
+
+    Each call to :meth:`pick` returns the ``m`` least-recently-used
+    members (ties broken by accumulated assignment count) and charges
+    them one duty unit.
+    """
+
+    members: list[str]
+    _assignments: dict[str, int] = field(default_factory=dict)
+    _last_used: dict[str, int] = field(default_factory=dict)
+    _round: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("scheduler needs at least one member")
+        for member in self.members:
+            self._assignments.setdefault(member, 0)
+            self._last_used.setdefault(member, -1)
+
+    def add(self, member: str) -> None:
+        if member not in self._assignments:
+            self.members.append(member)
+            self._assignments[member] = 0
+            self._last_used[member] = -1
+
+    def remove(self, member: str) -> None:
+        if member in self._assignments:
+            self.members.remove(member)
+            del self._assignments[member]
+            del self._last_used[member]
+
+    def pick(self, m: int) -> list[str]:
+        """Select the next ``m`` members to carry the sensing burden."""
+        if m < 1:
+            raise ValueError("must pick at least one member")
+        m = min(m, len(self.members))
+        ordered = sorted(
+            self.members,
+            key=lambda member: (
+                self._last_used[member],
+                self._assignments[member],
+                member,
+            ),
+        )
+        picked = ordered[:m]
+        self._round += 1
+        for member in picked:
+            self._assignments[member] += 1
+            self._last_used[member] = self._round
+        return picked
+
+    def load(self) -> dict[str, int]:
+        """Accumulated assignment counts (fairness check)."""
+        return dict(self._assignments)
+
+    def fairness(self) -> float:
+        """Jain's fairness index of the assignment counts (1 = perfectly
+        even)."""
+        counts = np.array(list(self._assignments.values()), dtype=float)
+        if counts.sum() == 0:
+            return 1.0
+        return float(counts.sum() ** 2 / (counts.size * np.sum(counts**2)))

@@ -1,0 +1,124 @@
+"""Middleware bridge to joint spatio-temporal reconstruction.
+
+Section 3's "jointly perform spatio-temporal compressive sensing"
+applied at the NanoCloud: each round's (cell, value) reports are tagged
+with their round index, accumulated into a space-time sample set, and
+the window's full T x N block is recovered in one joint solve — so the
+LocalCloud gets per-snapshot fields for rounds whose individual sample
+count would be far too small to reconstruct alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core import metrics
+from ..core.basis import dct2_basis
+from ..core.spatiotemporal import SpaceTimeSample, reconstruct_spacetime
+from ..fields.field import SpatialField
+from ..sensors.base import Environment
+from .nanocloud import NanoCloud
+
+__all__ = ["SpaceTimeWindow", "gather_spacetime_window"]
+
+EnvSupplier = Callable[[int], Environment]
+
+
+@dataclass
+class SpaceTimeWindow:
+    """Accumulated rounds and their joint reconstruction."""
+
+    snapshots: list[SpatialField]
+    samples: list[SpaceTimeSample]
+    per_round_m: list[int] = field(default_factory=list)
+
+    @property
+    def t(self) -> int:
+        return len(self.snapshots)
+
+    def errors_against(self, truths: list[SpatialField]) -> list[float]:
+        """Per-snapshot relative errors vs a ground-truth sequence."""
+        if len(truths) != self.t:
+            raise ValueError("need one truth per snapshot")
+        return [
+            metrics.relative_error(truth.vector(), est.vector())
+            for truth, est in zip(truths, self.snapshots)
+        ]
+
+
+def gather_spacetime_window(
+    nanocloud: NanoCloud,
+    env_supplier: EnvSupplier,
+    rounds: int,
+    measurements_per_round: int,
+    *,
+    sparsity: int | None = None,
+) -> SpaceTimeWindow:
+    """Run ``rounds`` sparse rounds and jointly reconstruct the window.
+
+    Parameters
+    ----------
+    nanocloud:
+        The NanoCloud to drive.  Its zone geometry defines N.
+    env_supplier:
+        ``env_supplier(round_index)`` returns the environment (i.e. the
+        evolved ground truth) for that round — the simulation's stand-in
+        for the world changing between rounds.
+    rounds:
+        T, the number of snapshots in the window.
+    measurements_per_round:
+        M per round; may be far below what a single-snapshot
+        reconstruction needs — that is the use case.
+    sparsity:
+        Joint space-time sparsity budget (default: total samples // 3).
+
+    Returns
+    -------
+    :class:`SpaceTimeWindow` whose ``snapshots`` are the jointly
+    reconstructed per-round fields.
+    """
+    if rounds < 2:
+        raise ValueError("a space-time window needs at least two rounds")
+    if measurements_per_round < 1:
+        raise ValueError("need at least one measurement per round")
+    broker = nanocloud.broker
+    n = broker.n
+    samples: list[SpaceTimeSample] = []
+    per_round_m: list[int] = []
+    for round_index in range(rounds):
+        env = env_supplier(round_index)
+        estimate = nanocloud.run_round(
+            env,
+            timestamp=float(round_index),
+            measurements=measurements_per_round,
+        )
+        per_round_m.append(estimate.m)
+        measured = estimate.plan.locations
+        # The reconstruction's values at measured cells equal the (noisy)
+        # reports; read them back rather than re-commanding nodes.
+        values = estimate.reconstruction.x_hat[measured]
+        for cell, value in zip(measured.tolist(), values.tolist()):
+            samples.append(
+                SpaceTimeSample(
+                    snapshot=round_index, location=int(cell),
+                    value=float(value),
+                )
+            )
+    result = reconstruct_spacetime(
+        samples,
+        rounds,
+        n,
+        phi_space=dct2_basis(broker.zone_width, broker.zone_height),
+        sparsity=sparsity,
+    )
+    snapshots = [
+        SpatialField.from_vector(
+            result.block[t], broker.zone_width, broker.zone_height,
+            name=f"{broker.sensor_name}@t{t}",
+        )
+        for t in range(rounds)
+    ]
+    return SpaceTimeWindow(
+        snapshots=snapshots, samples=samples, per_round_m=per_round_m
+    )

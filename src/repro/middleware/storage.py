@@ -1,0 +1,223 @@
+"""Data logging and retrieval over SQLite.
+
+"SenseDroid provides data management routines and interface to a light
+weight database such as SQLite for data logging and efficient sensor
+data processing and storing" (Section 3).  The store keeps raw readings
+and derived contexts in two indexed tables; retrieval composes with the
+query engine (:mod:`repro.middleware.query`) by materialising readings
+back into :class:`repro.sensors.base.SensorReading` objects.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from ..sensors.base import SensorReading
+from .query import Query
+
+__all__ = ["DataStore", "ContextRecord"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS readings (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    sensor TEXT NOT NULL,
+    node_id TEXT NOT NULL,
+    timestamp REAL NOT NULL,
+    value REAL NOT NULL,
+    unit TEXT NOT NULL DEFAULT '',
+    noise_std REAL NOT NULL DEFAULT 0.0
+);
+CREATE INDEX IF NOT EXISTS idx_readings_sensor_time
+    ON readings (sensor, timestamp);
+CREATE INDEX IF NOT EXISTS idx_readings_node
+    ON readings (node_id);
+CREATE TABLE IF NOT EXISTS contexts (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind TEXT NOT NULL,
+    node_id TEXT NOT NULL,
+    timestamp REAL NOT NULL,
+    value TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_contexts_kind_time
+    ON contexts (kind, timestamp);
+"""
+
+
+@dataclass(frozen=True)
+class ContextRecord:
+    """One logged context determination."""
+
+    kind: str
+    node_id: str
+    timestamp: float
+    value: str
+
+
+class DataStore:
+    """SQLite-backed log of readings and contexts.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` (default) for tests and
+        short-lived experiments.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "DataStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- readings -------------------------------------------------------
+
+    def log_reading(self, reading: SensorReading) -> None:
+        self._conn.execute(
+            "INSERT INTO readings (sensor, node_id, timestamp, value, unit,"
+            " noise_std) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                reading.sensor,
+                reading.node_id,
+                reading.timestamp,
+                reading.value,
+                reading.unit,
+                reading.noise_std,
+            ),
+        )
+        self._conn.commit()
+
+    def log_readings(self, readings: list[SensorReading]) -> int:
+        """Bulk insert; returns the number of rows written."""
+        self._conn.executemany(
+            "INSERT INTO readings (sensor, node_id, timestamp, value, unit,"
+            " noise_std) VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (r.sensor, r.node_id, r.timestamp, r.value, r.unit, r.noise_std)
+                for r in readings
+            ],
+        )
+        self._conn.commit()
+        return len(readings)
+
+    def readings(
+        self,
+        sensor: str | None = None,
+        node_id: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        limit: int | None = None,
+    ) -> list[SensorReading]:
+        """Retrieve readings with SQL-side filtering, newest first."""
+        clauses = []
+        params: list = []
+        if sensor is not None:
+            clauses.append("sensor = ?")
+            params.append(sensor)
+        if node_id is not None:
+            clauses.append("node_id = ?")
+            params.append(node_id)
+        if since is not None:
+            clauses.append("timestamp >= ?")
+            params.append(since)
+        if until is not None:
+            clauses.append("timestamp <= ?")
+            params.append(until)
+        sql = "SELECT sensor, node_id, timestamp, value, unit, noise_std FROM readings"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY timestamp DESC"
+        if limit is not None:
+            if limit < 1:
+                raise ValueError("limit must be >= 1")
+            sql += f" LIMIT {int(limit)}"
+        rows = self._conn.execute(sql, params).fetchall()
+        return [
+            SensorReading(
+                sensor=row[0],
+                node_id=row[1],
+                timestamp=row[2],
+                value=row[3],
+                unit=row[4],
+                noise_std=row[5],
+            )
+            for row in rows
+        ]
+
+    def run_query(self, query: Query) -> list[SensorReading]:
+        """Evaluate a :class:`repro.middleware.query.Query` over the log.
+
+        Sensor-name and time predicates are pushed down to SQL; the rest
+        filter in Python.
+        """
+        sensor = None
+        since = None
+        until = None
+        for p in query.predicates:
+            if p.attribute == "sensor" and p.op == "==":
+                sensor = p.operand
+            elif p.attribute == "timestamp" and p.op in (">=", ">"):
+                since = float(p.operand)
+            elif p.attribute == "timestamp" and p.op in ("<=", "<"):
+                until = float(p.operand)
+        candidates = self.readings(sensor=sensor, since=since, until=until)
+        return query.run(candidates)
+
+    def reading_count(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM readings").fetchone()[0]
+        )
+
+    # -- contexts -------------------------------------------------------
+
+    def log_context(self, record: ContextRecord) -> None:
+        self._conn.execute(
+            "INSERT INTO contexts (kind, node_id, timestamp, value)"
+            " VALUES (?, ?, ?, ?)",
+            (record.kind, record.node_id, record.timestamp, record.value),
+        )
+        self._conn.commit()
+
+    def contexts(
+        self,
+        kind: str | None = None,
+        since: float | None = None,
+        limit: int | None = None,
+    ) -> list[ContextRecord]:
+        clauses = []
+        params: list = []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if since is not None:
+            clauses.append("timestamp >= ?")
+            params.append(since)
+        sql = "SELECT kind, node_id, timestamp, value FROM contexts"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY timestamp DESC"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        rows = self._conn.execute(sql, params).fetchall()
+        return [ContextRecord(*row) for row in rows]
+
+    def prune_before(self, timestamp: float) -> int:
+        """Delete rows older than ``timestamp``; returns rows removed."""
+        cur = self._conn.execute(
+            "DELETE FROM readings WHERE timestamp < ?", (timestamp,)
+        )
+        removed = cur.rowcount
+        cur = self._conn.execute(
+            "DELETE FROM contexts WHERE timestamp < ?", (timestamp,)
+        )
+        removed += cur.rowcount
+        self._conn.commit()
+        return removed

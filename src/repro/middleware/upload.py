@@ -1,0 +1,184 @@
+"""Energy-efficient uploading strategies (Section 5, citing [16]).
+
+The paper cites Musolesi et al. [16] on "energy-efficient uploading
+strategies for continuous sensing applications": when a phone produces a
+stream of readings/contexts, *when* it uploads them matters as much as
+how many — each radio wake-up has a fixed cost, so batching amortises
+it, and delaying until a cheap network appears (WiFi offload) saves
+more, at the price of staleness.
+
+Three strategies over a common trace model:
+
+- ``ImmediateUpload``   — send every item as produced (freshest, priciest);
+- ``BatchedUpload``     — accumulate ``batch_size`` items per transmission;
+- ``OpportunisticUpload`` — batch, and additionally hold until a cheap
+  link is available or a staleness deadline forces a send on the
+  expensive one.
+
+Each returns an :class:`UploadStats` so the ABL-UPLOAD bench can print
+the energy/staleness frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.links import LinkModel
+from ..network.message import Message, MessageKind
+
+__all__ = [
+    "UploadItem",
+    "UploadStats",
+    "ImmediateUpload",
+    "BatchedUpload",
+    "OpportunisticUpload",
+]
+
+
+@dataclass(frozen=True)
+class UploadItem:
+    """One produced reading/context awaiting upload."""
+
+    timestamp: float
+    values: int = 1  # scalar payload size
+
+
+@dataclass
+class UploadStats:
+    """Outcome of running one strategy over a production trace."""
+
+    transmissions: int = 0
+    items_sent: int = 0
+    energy_mj: float = 0.0
+    total_staleness_s: float = 0.0  # sum over items of (send - produce)
+    items_pending: int = 0
+
+    @property
+    def mean_staleness_s(self) -> float:
+        if self.items_sent == 0:
+            return 0.0
+        return self.total_staleness_s / self.items_sent
+
+
+def _send(
+    stats: UploadStats,
+    link: LinkModel,
+    items: list[UploadItem],
+    now: float,
+) -> None:
+    message = Message(
+        kind=MessageKind.SENSE_REPORT,
+        source="node",
+        destination="broker",
+        payload_values=sum(item.values for item in items),
+        timestamp=now,
+    )
+    stats.transmissions += 1
+    stats.items_sent += len(items)
+    stats.energy_mj += link.transfer_energy_mj(message)
+    stats.total_staleness_s += sum(now - item.timestamp for item in items)
+
+
+class ImmediateUpload:
+    """Transmit each item the moment it is produced."""
+
+    def __init__(self, link: LinkModel) -> None:
+        self.link = link
+
+    def run(self, items: list[UploadItem]) -> UploadStats:
+        stats = UploadStats()
+        for item in items:
+            _send(stats, self.link, [item], now=item.timestamp)
+        return stats
+
+
+class BatchedUpload:
+    """Accumulate ``batch_size`` items, then transmit them together."""
+
+    def __init__(self, link: LinkModel, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.link = link
+        self.batch_size = batch_size
+
+    def run(self, items: list[UploadItem], flush_at: float | None = None) -> UploadStats:
+        stats = UploadStats()
+        pending: list[UploadItem] = []
+        for item in items:
+            pending.append(item)
+            if len(pending) >= self.batch_size:
+                _send(stats, self.link, pending, now=item.timestamp)
+                pending = []
+        if pending and flush_at is not None:
+            _send(stats, self.link, pending, now=flush_at)
+            pending = []
+        stats.items_pending = len(pending)
+        return stats
+
+
+class OpportunisticUpload:
+    """Hold items for a cheap link; spill to the expensive one only when
+    the oldest pending item would exceed the staleness deadline.
+
+    ``cheap_windows`` lists (start, end) intervals during which the cheap
+    link (e.g. home/office WiFi) is reachable; outside them only the
+    expensive link (cellular) exists.
+    """
+
+    def __init__(
+        self,
+        cheap_link: LinkModel,
+        expensive_link: LinkModel,
+        cheap_windows: list[tuple[float, float]],
+        max_staleness_s: float,
+    ) -> None:
+        if max_staleness_s <= 0:
+            raise ValueError("staleness deadline must be positive")
+        for start, end in cheap_windows:
+            if end <= start:
+                raise ValueError("cheap window must have positive length")
+        self.cheap_link = cheap_link
+        self.expensive_link = expensive_link
+        self.cheap_windows = sorted(cheap_windows)
+        self.max_staleness_s = max_staleness_s
+
+    def _cheap_available(self, t: float) -> bool:
+        return any(start <= t <= end for start, end in self.cheap_windows)
+
+    def _next_cheap_start(self, t: float) -> float | None:
+        for start, _ in self.cheap_windows:
+            if start >= t:
+                return start
+        return None
+
+    def run(self, items: list[UploadItem], flush_at: float) -> UploadStats:
+        stats = UploadStats()
+        pending: list[UploadItem] = []
+        for item in sorted(items, key=lambda i: i.timestamp):
+            now = item.timestamp
+            # First, drain if we are inside a cheap window.
+            if pending and self._cheap_available(now):
+                _send(stats, self.cheap_link, pending, now=now)
+                pending = []
+            pending.append(item)
+            if self._cheap_available(now):
+                _send(stats, self.cheap_link, pending, now=now)
+                pending = []
+                continue
+            # Will the oldest pending item expire before the next cheap
+            # window?  If so, pay the cellular price now.
+            oldest = pending[0].timestamp
+            deadline = oldest + self.max_staleness_s
+            next_cheap = self._next_cheap_start(now)
+            if next_cheap is None or next_cheap > deadline:
+                if now >= deadline:
+                    _send(stats, self.expensive_link, pending, now=now)
+                    pending = []
+        if pending:
+            link = (
+                self.cheap_link
+                if self._cheap_available(flush_at)
+                else self.expensive_link
+            )
+            _send(stats, link, pending, now=flush_at)
+        return stats

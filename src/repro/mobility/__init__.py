@@ -1,0 +1,26 @@
+"""Mobility substrate: movement models and trace record/replay."""
+
+from .models import (
+    DRIVE_SPEED_THRESHOLD,
+    WALK_SPEED_THRESHOLD,
+    GaussMarkov,
+    MobilityModel,
+    RandomWaypoint,
+    StaticPlacement,
+    mode_from_speed,
+)
+from .trace import MobilityTrace, TracePoint, record_trace, replay_states
+
+__all__ = [
+    "DRIVE_SPEED_THRESHOLD",
+    "WALK_SPEED_THRESHOLD",
+    "GaussMarkov",
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticPlacement",
+    "mode_from_speed",
+    "MobilityTrace",
+    "TracePoint",
+    "record_trace",
+    "replay_states",
+]

@@ -1,0 +1,196 @@
+"""Node mobility models.
+
+Mobile crowdsensing differs from static WSNs by "high mobility" (Section
+2's WSN-vs-phone contrast).  These are the standard synthetic mobility
+models: random waypoint (pedestrians wandering a campus), Gauss-Markov
+(temporally correlated vehicle motion) and static placements (the
+infrastructure sensors brokers can fall back on).  All models advance a
+:class:`repro.sensors.base.NodeState` in place in field-grid coordinates
+and set the activity ``mode`` from the current speed, which is what the
+IsDriving context ultimately senses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..sensors.base import Environment, NodeState
+
+__all__ = [
+    "MobilityModel",
+    "StaticPlacement",
+    "RandomWaypoint",
+    "GaussMarkov",
+    "mode_from_speed",
+]
+
+#: Speed thresholds (grid cells / s) separating idle / walking / driving.
+WALK_SPEED_THRESHOLD = 0.2
+DRIVE_SPEED_THRESHOLD = 3.0
+
+
+def mode_from_speed(speed: float) -> str:
+    """Ground-truth activity mode implied by a movement speed."""
+    if speed < WALK_SPEED_THRESHOLD:
+        return "idle"
+    if speed < DRIVE_SPEED_THRESHOLD:
+        return "walking"
+    return "driving"
+
+
+class MobilityModel(ABC):
+    """Advances node states over time within a bounded area."""
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("area dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+
+    @abstractmethod
+    def step(self, state: NodeState, dt: float) -> None:
+        """Advance one node state by ``dt`` seconds (in place)."""
+
+    def _clamp(self, state: NodeState) -> None:
+        state.x = float(np.clip(state.x, 0.0, self.width - 1e-9))
+        state.y = float(np.clip(state.y, 0.0, self.height - 1e-9))
+
+    def update_indoor(self, state: NodeState, env: Environment) -> None:
+        """Refresh the ground-truth indoor flag from the environment."""
+        state.indoor = env.is_indoor(state.x, state.y)
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes that never move (infrastructure sensors, parked phones)."""
+
+    def step(self, state: NodeState, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        state.speed = 0.0
+        state.mode = "idle"
+
+
+class RandomWaypoint(MobilityModel):
+    """Classic random waypoint: pick a destination, travel at a random
+    speed, pause, repeat.
+
+    Each node tracked by this model gets independent waypoints keyed by
+    ``id(state)``-free bookkeeping: the model stores per-node plans in a
+    dict keyed by the state object identity is fragile, so the plan is
+    kept *on* the state via dynamic attributes — simple and serialises
+    with the node.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        speed_range: tuple[float, float] = (0.5, 2.0),
+        pause_range: tuple[float, float] = (0.0, 5.0),
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(width, height)
+        lo, hi = speed_range
+        if lo < 0 or hi < lo:
+            raise ValueError("invalid speed range")
+        plo, phi = pause_range
+        if plo < 0 or phi < plo:
+            raise ValueError("invalid pause range")
+        self.speed_range = (float(lo), float(hi))
+        self.pause_range = (float(plo), float(phi))
+        self._rng = np.random.default_rng(rng)
+
+    def _new_leg(self, state: NodeState) -> None:
+        target_x = self._rng.uniform(0, self.width)
+        target_y = self._rng.uniform(0, self.height)
+        speed = self._rng.uniform(*self.speed_range)
+        state._rwp_target = (target_x, target_y)  # type: ignore[attr-defined]
+        state._rwp_pause = self._rng.uniform(*self.pause_range)  # type: ignore[attr-defined]
+        state.speed = float(speed)
+        state.heading = float(
+            np.arctan2(target_y - state.y, target_x - state.x)
+        )
+
+    def step(self, state: NodeState, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if not hasattr(state, "_rwp_target"):
+            self._new_leg(state)
+        pause = getattr(state, "_rwp_pause_left", 0.0)
+        if pause > 0:
+            state._rwp_pause_left = max(pause - dt, 0.0)  # type: ignore[attr-defined]
+            state.speed = 0.0
+            state.mode = "idle"
+            return
+        tx, ty = state._rwp_target  # type: ignore[attr-defined]
+        remaining = float(np.hypot(tx - state.x, ty - state.y))
+        travel = state.speed * dt
+        if travel >= remaining:
+            state.x, state.y = tx, ty
+            state._rwp_pause_left = state._rwp_pause  # type: ignore[attr-defined]
+            self._new_leg(state)
+        else:
+            state.x += travel * np.cos(state.heading)
+            state.y += travel * np.sin(state.heading)
+        self._clamp(state)
+        state.mode = mode_from_speed(state.speed)
+
+
+class GaussMarkov(MobilityModel):
+    """Gauss-Markov mobility: speed and heading follow AR(1) processes,
+    giving temporally smooth, vehicle-like trajectories.
+
+    ``alpha`` tunes memory: 1 = straight-line cruise, 0 = Brownian.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        mean_speed: float = 4.0,
+        alpha: float = 0.85,
+        speed_std: float = 1.0,
+        heading_std: float = 0.3,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(width, height)
+        if not 0 <= alpha <= 1:
+            raise ValueError("alpha must be in [0, 1]")
+        if mean_speed < 0 or speed_std < 0 or heading_std < 0:
+            raise ValueError("speed/heading parameters must be non-negative")
+        self.mean_speed = float(mean_speed)
+        self.alpha = float(alpha)
+        self.speed_std = float(speed_std)
+        self.heading_std = float(heading_std)
+        self._rng = np.random.default_rng(rng)
+
+    def step(self, state: NodeState, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        a = self.alpha
+        root = np.sqrt(max(1.0 - a * a, 0.0))
+        state.speed = float(
+            max(
+                a * state.speed
+                + (1 - a) * self.mean_speed
+                + root * self.speed_std * self._rng.standard_normal(),
+                0.0,
+            )
+        )
+        mean_heading = state.heading
+        state.heading = float(
+            a * state.heading
+            + (1 - a) * mean_heading
+            + root * self.heading_std * self._rng.standard_normal()
+        )
+        state.x += state.speed * dt * np.cos(state.heading)
+        state.y += state.speed * dt * np.sin(state.heading)
+        # Reflect at the boundary so vehicles stay in the area.
+        if state.x < 0 or state.x > self.width:
+            state.heading = float(np.pi - state.heading)
+        if state.y < 0 or state.y > self.height:
+            state.heading = float(-state.heading)
+        self._clamp(state)
+        state.mode = mode_from_speed(state.speed)

@@ -1,0 +1,126 @@
+"""Mobility trace recording and replay.
+
+Traces serve two purposes: (1) experiments replay identical node
+trajectories across treatment arms (hierarchical vs flat, compressive vs
+dense) so differences are attributable to the protocol, not the walk;
+(2) the IsIndoor/IsDriving context benches need the ground-truth
+mode/indoor labels aligned with sensor windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sensors.base import Environment, NodeState
+from .models import MobilityModel
+
+__all__ = ["TracePoint", "MobilityTrace", "record_trace", "replay_states"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One node's state snapshot at one instant."""
+
+    timestamp: float
+    x: float
+    y: float
+    speed: float
+    heading: float
+    mode: str
+    indoor: bool
+
+
+@dataclass
+class MobilityTrace:
+    """Time-ordered state history for one node."""
+
+    node_id: str
+    points: list[TracePoint] = field(default_factory=list)
+
+    def append(self, timestamp: float, state: NodeState) -> None:
+        if self.points and timestamp <= self.points[-1].timestamp:
+            raise ValueError("trace timestamps must strictly increase")
+        self.points.append(
+            TracePoint(
+                timestamp=timestamp,
+                x=state.x,
+                y=state.y,
+                speed=state.speed,
+                heading=state.heading,
+                mode=state.mode,
+                indoor=state.indoor,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def at(self, timestamp: float) -> TracePoint:
+        """Most recent point at or before ``timestamp`` (step-hold)."""
+        if not self.points:
+            raise ValueError("empty trace")
+        times = [p.timestamp for p in self.points]
+        idx = int(np.searchsorted(times, timestamp, side="right")) - 1
+        if idx < 0:
+            raise ValueError(
+                f"timestamp {timestamp} precedes trace start {times[0]}"
+            )
+        return self.points[idx]
+
+    def mode_fractions(self) -> dict[str, float]:
+        """Fraction of trace points in each activity mode."""
+        if not self.points:
+            return {}
+        counts: dict[str, int] = {}
+        for p in self.points:
+            counts[p.mode] = counts.get(p.mode, 0) + 1
+        total = len(self.points)
+        return {mode: c / total for mode, c in counts.items()}
+
+    def indoor_fraction(self) -> float:
+        """Fraction of trace points spent indoors."""
+        if not self.points:
+            return 0.0
+        return sum(p.indoor for p in self.points) / len(self.points)
+
+
+def record_trace(
+    node_id: str,
+    state: NodeState,
+    model: MobilityModel,
+    env: Environment,
+    duration_s: float,
+    dt: float = 1.0,
+) -> MobilityTrace:
+    """Run a mobility model for ``duration_s`` recording every ``dt``.
+
+    The initial state is recorded at t=0; the state object is advanced in
+    place and left at its final value.
+    """
+    if duration_s <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+    trace = MobilityTrace(node_id=node_id)
+    model.update_indoor(state, env)
+    trace.append(0.0, state)
+    steps = int(round(duration_s / dt))
+    for i in range(1, steps + 1):
+        model.step(state, dt)
+        model.update_indoor(state, env)
+        trace.append(i * dt, state)
+    return trace
+
+
+def replay_states(trace: MobilityTrace, timestamps: np.ndarray) -> list[NodeState]:
+    """Materialise NodeStates at arbitrary timestamps from a trace."""
+    states = []
+    for t in np.asarray(timestamps, dtype=float).ravel():
+        p = trace.at(float(t))
+        states.append(
+            NodeState(
+                x=p.x, y=p.y, speed=p.speed, heading=p.heading,
+                mode=p.mode, indoor=p.indoor,
+            )
+        )
+    return states

@@ -1,0 +1,41 @@
+"""Network substrate: messages, metered pub/sub bus, link models,
+topologies and service discovery."""
+
+from .bus import Endpoint, MessageBus, TrafficStats
+from .discovery import DiscoveryRegistry, ServiceAnnouncement
+from .links import BLUETOOTH, GSM, LINKS_BY_NAME, LTE, WIFI, LinkModel
+from .message import Message, MessageKind
+from .selector import NetworkSelector, SelectionPolicy, SelectionResult
+from .topology import (
+    broker_load,
+    hierarchy_topology,
+    is_connected,
+    mesh_topology,
+    proximity_topology,
+    star_topology,
+)
+
+__all__ = [
+    "Endpoint",
+    "MessageBus",
+    "TrafficStats",
+    "DiscoveryRegistry",
+    "ServiceAnnouncement",
+    "BLUETOOTH",
+    "GSM",
+    "LINKS_BY_NAME",
+    "LTE",
+    "WIFI",
+    "LinkModel",
+    "NetworkSelector",
+    "SelectionPolicy",
+    "SelectionResult",
+    "Message",
+    "MessageKind",
+    "broker_load",
+    "hierarchy_topology",
+    "is_connected",
+    "mesh_topology",
+    "proximity_topology",
+    "star_topology",
+]

@@ -1,0 +1,220 @@
+"""In-process publish/subscribe message bus (the transport substrate).
+
+SenseDroid's real deployments speak MQTT-style brokered pub/sub over
+WiFi/BT/GSM; this bus is the in-process equivalent: endpoints register
+under an address, subscribe to topics, and every delivery is metered
+through a :class:`repro.network.links.LinkModel` so experiments can count
+messages, bytes, latency and radio energy without real sockets.
+
+Delivery is synchronous and deterministic (no threads): ``publish`` and
+``send`` enqueue to the destination's inbox and update the traffic
+accounting immediately.  Higher layers (brokers, the simulation engine)
+drain inboxes explicitly, which keeps every experiment replayable.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from .links import WIFI, LinkModel
+from .message import Message, MessageKind
+
+__all__ = ["TrafficStats", "MessageBus", "Endpoint"]
+
+
+@dataclass
+class TrafficStats:
+    """Accumulated traffic accounting for one bus or one endpoint."""
+
+    messages: int = 0
+    bytes: int = 0
+    transmit_energy_mj: float = 0.0
+    receive_energy_mj: float = 0.0
+    latency_s: float = 0.0
+    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, message: Message, link: LinkModel) -> None:
+        self.messages += 1
+        self.bytes += message.size_bytes
+        self.transmit_energy_mj += link.transfer_energy_mj(message)
+        self.receive_energy_mj += link.receive_energy_mj(message)
+        self.latency_s += link.transfer_latency_s(message)
+        self.by_kind[message.kind.value] += 1
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.transmit_energy_mj + self.receive_energy_mj
+
+
+class Endpoint:
+    """One addressable participant on the bus (a node, broker or app)."""
+
+    def __init__(self, address: str, link: LinkModel) -> None:
+        if not address:
+            raise ValueError("endpoint address must be non-empty")
+        self.address = address
+        self.link = link
+        self.inbox: deque[Message] = deque()
+        self.stats = TrafficStats()
+
+    def drain(self) -> list[Message]:
+        """Remove and return all pending messages, oldest first."""
+        messages = list(self.inbox)
+        self.inbox.clear()
+        return messages
+
+    def pending(self) -> int:
+        return len(self.inbox)
+
+
+class MessageBus:
+    """Brokered pub/sub + point-to-point transport with metering.
+
+    Parameters
+    ----------
+    default_link:
+        Link model used for endpoints registered without an explicit one.
+    loss_rate:
+        Probability that any delivery is silently dropped by the radio
+        channel (fault injection for robustness tests).  The sender
+        still pays transmit energy for a lost message — that is what
+        makes loss expensive; the receiver pays nothing.
+    seed:
+        RNG seed for the loss process (losses are reproducible).
+    """
+
+    def __init__(
+        self,
+        default_link: LinkModel = WIFI,
+        loss_rate: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.default_link = default_link
+        self.loss_rate = loss_rate
+        self._endpoints: dict[str, Endpoint] = {}
+        self._subscriptions: dict[str, set[str]] = defaultdict(set)
+        self.stats = TrafficStats()
+        self.messages_lost = 0
+        self._loss_rng = _random.Random(seed)
+
+    # -- registration -------------------------------------------------
+
+    def register(self, address: str, link: LinkModel | None = None) -> Endpoint:
+        """Register (or fetch) the endpoint for ``address``."""
+        if address in self._endpoints:
+            return self._endpoints[address]
+        endpoint = Endpoint(address, link or self.default_link)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def unregister(self, address: str) -> None:
+        """Drop an endpoint and all its subscriptions (node churn)."""
+        self._endpoints.pop(address, None)
+        for subscribers in self._subscriptions.values():
+            subscribers.discard(address)
+
+    def endpoint(self, address: str) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise KeyError(f"no endpoint registered at {address!r}") from None
+
+    @property
+    def addresses(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    # -- pub/sub ------------------------------------------------------
+
+    def subscribe(self, address: str, topic: str) -> None:
+        """Subscribe an endpoint to a topic; it must be registered."""
+        if address not in self._endpoints:
+            raise KeyError(f"cannot subscribe unregistered endpoint {address!r}")
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        self._subscriptions[topic].add(address)
+
+    def unsubscribe(self, address: str, topic: str) -> None:
+        self._subscriptions[topic].discard(address)
+
+    def subscribers(self, topic: str) -> set[str]:
+        return set(self._subscriptions[topic])
+
+    def publish(self, topic: str, message: Message) -> int:
+        """Deliver ``message`` to every subscriber of ``topic``.
+
+        Returns the number of deliveries; each one is metered separately
+        (a broadcast over unicast links costs per receiver).
+        """
+        deliveries = 0
+        for address in sorted(self._subscriptions[topic]):
+            if address == message.source:
+                continue  # don't loop a publication back to its publisher
+            copy = Message(
+                kind=message.kind,
+                source=message.source,
+                destination=address,
+                payload=message.payload,
+                payload_values=message.payload_values,
+                timestamp=message.timestamp,
+            )
+            self._deliver(copy)
+            deliveries += 1
+        return deliveries
+
+    # -- point-to-point -----------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Deliver a unicast message to its destination endpoint."""
+        if message.destination not in self._endpoints:
+            raise KeyError(
+                f"destination {message.destination!r} is not registered"
+            )
+        self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        destination = self._endpoints[message.destination]
+        link = destination.link
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            # Lost in the channel: the sender still burned its radio.
+            self.messages_lost += 1
+            if message.source in self._endpoints:
+                sender = self._endpoints[message.source]
+                sender.stats.messages += 1
+                sender.stats.bytes += message.size_bytes
+                sender.stats.transmit_energy_mj += link.transfer_energy_mj(
+                    message
+                )
+            self.stats.messages += 1
+            self.stats.bytes += message.size_bytes
+            self.stats.transmit_energy_mj += link.transfer_energy_mj(message)
+            return
+        destination.inbox.append(message)
+        destination.stats.record(message, link)
+        if message.source in self._endpoints:
+            self._endpoints[message.source].stats.record(message, link)
+        self.stats.record(message, link)
+
+    # -- convenience --------------------------------------------------
+
+    def request_reply(
+        self,
+        request: Message,
+        reply_kind: MessageKind,
+        reply_payload: dict,
+        reply_values: int = 1,
+    ) -> Message:
+        """Send a request and immediately deliver the canned reply.
+
+        Utility for synchronous command/telemetry exchanges where the
+        responder's behaviour is computed by the caller (the broker
+        commands a node whose reading the simulation already knows).
+        Both legs are metered.
+        """
+        self.send(request)
+        reply = request.reply(reply_kind, reply_payload, reply_values)
+        self.send(reply)
+        return reply

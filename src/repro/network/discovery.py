@@ -1,0 +1,89 @@
+"""Service discovery: who offers which sensors/services near me.
+
+Collaboration requires finding peers: a node missing a barometer can
+"obtain missing sensing information when specific sensors are not
+available in their own devices" (Section 1) — but first it must discover
+which nearby nodes (or infrastructure sensors) offer one.  The registry
+is broker-local, matching the paper's architecture where the NC broker
+orchestrates its member nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceAnnouncement", "DiscoveryRegistry"]
+
+
+@dataclass(frozen=True)
+class ServiceAnnouncement:
+    """One node's advertisement of a capability."""
+
+    address: str
+    service: str  # e.g. "sensor:temperature", "compute:fft"
+    quality: float = 1.0  # advertised quality score (1 / noise tier)
+    expires_at: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.address or not self.service:
+            raise ValueError("announcement needs address and service")
+        if self.quality < 0:
+            raise ValueError("quality must be non-negative")
+
+
+@dataclass
+class DiscoveryRegistry:
+    """Per-broker service registry with lease expiry.
+
+    Mobile nodes churn, so every announcement carries an expiry; lookups
+    at time t ignore expired leases, and :meth:`prune` discards them.
+    """
+
+    _by_service: dict[str, dict[str, ServiceAnnouncement]] = field(
+        default_factory=dict
+    )
+
+    def announce(self, announcement: ServiceAnnouncement) -> None:
+        """Register/refresh a service offer."""
+        offers = self._by_service.setdefault(announcement.service, {})
+        offers[announcement.address] = announcement
+
+    def withdraw(self, address: str, service: str | None = None) -> None:
+        """Remove offers from a node (all services, or one)."""
+        if service is not None:
+            self._by_service.get(service, {}).pop(address, None)
+            return
+        for offers in self._by_service.values():
+            offers.pop(address, None)
+
+    def lookup(
+        self, service: str, now: float = 0.0, min_quality: float = 0.0
+    ) -> list[ServiceAnnouncement]:
+        """Live offers for a service, best quality first."""
+        offers = [
+            a
+            for a in self._by_service.get(service, {}).values()
+            if a.expires_at > now and a.quality >= min_quality
+        ]
+        return sorted(offers, key=lambda a: a.quality, reverse=True)
+
+    def services(self, now: float = 0.0) -> list[str]:
+        """All service names with at least one live offer."""
+        return sorted(
+            service
+            for service, offers in self._by_service.items()
+            if any(a.expires_at > now for a in offers.values())
+        )
+
+    def prune(self, now: float) -> int:
+        """Drop expired leases; returns how many were removed."""
+        removed = 0
+        for service in list(self._by_service):
+            offers = self._by_service[service]
+            for address in list(offers):
+                if offers[address].expires_at <= now:
+                    del offers[address]
+                    removed += 1
+            if not offers:
+                del self._by_service[service]
+        return removed

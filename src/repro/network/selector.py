@@ -1,0 +1,124 @@
+"""Multi-network interface selection (Section 5, Heterogeneity).
+
+The paper: mobile NCs use "multiple networks like WiFi, GSM, bluetooth
+etc."; future work calls out "support for more power efficient networks
+like Bluetooth ... to support the nanocloud architecture" and handling
+"heterogeneity in network architectures".
+
+A :class:`NetworkSelector` picks the radio for each message given which
+interfaces are currently available (range/infrastructure dependent) and
+the sender's policy: minimise energy, minimise latency, or a weighted
+blend with a battery-aware bias (a draining phone weighs energy more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .links import LinkModel
+from .message import Message
+
+__all__ = ["SelectionPolicy", "NetworkSelector", "SelectionResult"]
+
+
+@dataclass(frozen=True)
+class SelectionPolicy:
+    """How to weigh energy against latency.
+
+    ``energy_weight`` in [0, 1]; latency weight is the complement.
+    ``battery_aware`` shifts weight toward energy as the battery drains:
+    effective energy weight = w + (1 - w) * (1 - battery_level).
+    """
+
+    energy_weight: float = 0.5
+    battery_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.energy_weight <= 1.0:
+            raise ValueError("energy_weight must be in [0, 1]")
+
+    def effective_energy_weight(self, battery_level: float) -> float:
+        if not 0.0 <= battery_level <= 1.0:
+            raise ValueError("battery level must be in [0, 1]")
+        if not self.battery_aware:
+            return self.energy_weight
+        return self.energy_weight + (1.0 - self.energy_weight) * (
+            1.0 - battery_level
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The chosen link and its predicted costs."""
+
+    link: LinkModel
+    energy_mj: float
+    latency_s: float
+    score: float
+
+
+class NetworkSelector:
+    """Chooses among currently-available radio links per message."""
+
+    def __init__(self, policy: SelectionPolicy | None = None) -> None:
+        self.policy = policy or SelectionPolicy()
+
+    def select(
+        self,
+        message: Message,
+        available: list[LinkModel],
+        *,
+        battery_level: float = 1.0,
+        distance_m: float | None = None,
+    ) -> SelectionResult:
+        """Pick the best link for ``message``.
+
+        Parameters
+        ----------
+        available:
+            Links whose infrastructure is reachable right now.
+        battery_level:
+            Sender's state of charge in [0, 1].
+        distance_m:
+            Optional distance to the peer; links whose range is shorter
+            are filtered out (e.g. Bluetooth beyond 20 m).
+
+        Raises
+        ------
+        ValueError
+            If no available link can reach the peer.
+        """
+        if not available:
+            raise ValueError("no links available")
+        candidates = [
+            link
+            for link in available
+            if distance_m is None or link.range_m >= distance_m
+        ]
+        if not candidates:
+            raise ValueError(
+                f"no available link covers {distance_m} m "
+                f"(best range {max(l.range_m for l in available)} m)"
+            )
+        w_energy = self.policy.effective_energy_weight(battery_level)
+        w_latency = 1.0 - w_energy
+
+        # Normalise each cost by the best candidate so the two axes are
+        # comparable regardless of units.
+        energies = {l.name: l.transfer_energy_mj(message) for l in candidates}
+        latencies = {l.name: l.transfer_latency_s(message) for l in candidates}
+        e_min = min(energies.values())
+        l_min = min(latencies.values())
+
+        def score(link: LinkModel) -> float:
+            return w_energy * energies[link.name] / max(e_min, 1e-12) + (
+                w_latency * latencies[link.name] / max(l_min, 1e-12)
+            )
+
+        best = min(candidates, key=lambda l: (score(l), l.name))
+        return SelectionResult(
+            link=best,
+            energy_mj=energies[best.name],
+            latency_s=latencies[best.name],
+            score=score(best),
+        )

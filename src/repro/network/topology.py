@@ -1,0 +1,131 @@
+"""Network topologies: client-server (star) and peer-to-peer.
+
+SenseDroid "provides libraries and APIs for communication, service
+discovery, and collaboration among mobile phones for different network
+topologies (e.g. client-server and peer-to-peer)".  A topology decides
+which endpoint pairs may talk; combined with link ranges it yields the
+connectivity graph the collaboration layer routes over.  Built on
+networkx so experiments can interrogate standard graph properties
+(connectivity, diameter, broker load).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import networkx as nx
+
+from .links import LinkModel
+
+__all__ = [
+    "star_topology",
+    "mesh_topology",
+    "proximity_topology",
+    "hierarchy_topology",
+    "broker_load",
+    "is_connected",
+]
+
+
+def star_topology(center: str, leaves: list[str]) -> nx.Graph:
+    """Client-server: every leaf connects only to the centre (broker)."""
+    if not center:
+        raise ValueError("centre address must be non-empty")
+    graph = nx.Graph()
+    graph.add_node(center, role="broker")
+    for leaf in leaves:
+        if leaf == center:
+            raise ValueError("centre cannot also be a leaf")
+        graph.add_node(leaf, role="node")
+        graph.add_edge(center, leaf)
+    return graph
+
+
+def mesh_topology(members: list[str]) -> nx.Graph:
+    """Full peer-to-peer mesh: all pairs connected."""
+    graph = nx.Graph()
+    graph.add_nodes_from(members, role="node")
+    graph.add_edges_from(itertools.combinations(members, 2))
+    return graph
+
+
+def proximity_topology(
+    positions: dict[str, tuple[float, float]], link: LinkModel
+) -> nx.Graph:
+    """Ad-hoc topology: endpoints within the link's radio range connect.
+
+    This is the WiFi-ad-hoc LocalCloud mode the paper's Section 5 notes
+    as the present development focus.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(positions, role="node")
+    for (a, pa), (b, pb) in itertools.combinations(positions.items(), 2):
+        distance = math.dist(pa, pb)
+        if distance <= link.range_m:
+            graph.add_edge(a, b, distance=distance)
+    return graph
+
+
+def hierarchy_topology(
+    cloud: str,
+    lc_heads: list[str],
+    nc_brokers: dict[str, list[str]],
+    nodes: dict[str, list[str]],
+) -> nx.DiGraph:
+    """The multi-tier tree of Fig. 1: cloud -> LC heads -> NC brokers ->
+    mobile nodes.
+
+    Parameters
+    ----------
+    cloud:
+        Public-cloud root address.
+    lc_heads:
+        LocalCloud head-broker addresses.
+    nc_brokers:
+        Mapping from LC head to its NanoCloud broker addresses.
+    nodes:
+        Mapping from NC broker to its mobile-node addresses.
+
+    Returns
+    -------
+    Directed graph with edges pointing down the hierarchy and a ``tier``
+    attribute on every node (0=cloud, 1=LC, 2=NC, 3=node).
+    """
+    graph = nx.DiGraph()
+    graph.add_node(cloud, tier=0, role="cloud")
+    for head in lc_heads:
+        graph.add_node(head, tier=1, role="lc-head")
+        graph.add_edge(cloud, head)
+        for broker in nc_brokers.get(head, []):
+            graph.add_node(broker, tier=2, role="nc-broker")
+            graph.add_edge(head, broker)
+            for node in nodes.get(broker, []):
+                graph.add_node(node, tier=3, role="node")
+                graph.add_edge(broker, node)
+    orphans = set(nc_brokers) - set(lc_heads)
+    if orphans:
+        raise ValueError(f"nc_brokers reference unknown LC heads: {sorted(orphans)}")
+    known_brokers = {b for brokers in nc_brokers.values() for b in brokers}
+    orphan_nodes = set(nodes) - known_brokers
+    if orphan_nodes:
+        raise ValueError(f"nodes reference unknown NC brokers: {sorted(orphan_nodes)}")
+    return graph
+
+
+def broker_load(graph: nx.Graph | nx.DiGraph, address: str) -> int:
+    """Number of directly attached children/peers — the sink-bottleneck
+    metric the hierarchy exists to bound (FIG1 bench)."""
+    if address not in graph:
+        raise KeyError(f"{address!r} not in topology")
+    if graph.is_directed():
+        return graph.out_degree(address)
+    return graph.degree(address)
+
+
+def is_connected(graph: nx.Graph | nx.DiGraph) -> bool:
+    """Whether every endpoint can reach every other (undirected sense)."""
+    if graph.number_of_nodes() == 0:
+        return True
+    undirected = graph.to_undirected() if graph.is_directed() else graph
+    return nx.is_connected(undirected)

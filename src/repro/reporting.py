@@ -1,0 +1,117 @@
+"""Reproduction report assembly.
+
+Collects the per-experiment series the benchmark harness writes to
+``benchmarks/results/*.txt`` into a single markdown report, ordered by
+the DESIGN.md experiment index.  Usable as a library or as a script:
+
+    python -m repro.reporting [results_dir] [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["EXPERIMENT_ORDER", "assemble_report", "write_report"]
+
+#: Canonical ordering (and grouping) of experiment ids, mirroring the
+#: DESIGN.md index.  Ids not listed are appended alphabetically.
+EXPERIMENT_ORDER: tuple[str, ...] = (
+    "FIG4",
+    "FIG1",
+    "FIG2a",
+    "FIG2b",
+    "FIG3",
+    "FIG5a",
+    "FIG5b",
+    "FIG6a",
+    "FIG6b",
+    "FIG6c",
+    "CLM-LOCAL",
+    "CLM-ENERGY-a",
+    "CLM-ENERGY-b",
+    "CLM-ENERGY-c",
+    "CLM-MKN",
+    "CLM-INCENT",
+    "CLM-PART",
+    "CLM-REDUND",
+    "CLM-HET",
+    "ABL-K",
+    "ABL-BASIS",
+    "ABL-NOISE",
+    "ABL-ST-a",
+    "ABL-ST-b",
+    "ABL-UPLOAD",
+    "ABL-DUTY",
+    "ABL-POS",
+)
+
+
+def _sort_key(path: Path) -> tuple[int, str]:
+    stem = path.stem
+    try:
+        return (EXPERIMENT_ORDER.index(stem), stem)
+    except ValueError:
+        return (len(EXPERIMENT_ORDER), stem)
+
+
+def assemble_report(results_dir: str | Path) -> str:
+    """Build the markdown report from a results directory.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the directory does not exist or holds no result files (run
+        ``pytest benchmarks/ --benchmark-only`` first).
+    """
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no results directory at {directory}")
+    files = sorted(directory.glob("*.txt"), key=_sort_key)
+    if not files:
+        raise FileNotFoundError(
+            f"no result files in {directory}; run the benchmark harness "
+            "first (pytest benchmarks/ --benchmark-only)"
+        )
+    sections = [
+        "# SenseDroid reproduction report",
+        "",
+        f"Assembled from {len(files)} experiment series in "
+        f"`{directory}`.  See EXPERIMENTS.md for the paper-vs-measured "
+        "discussion of each.",
+        "",
+    ]
+    for path in files:
+        sections.append(f"## {path.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path
+) -> Path:
+    """Assemble and write the report; returns the output path."""
+    output = Path(output)
+    output.write_text(assemble_report(results_dir))
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    results_dir = Path(args[0]) if args else Path("benchmarks/results")
+    output = Path(args[1]) if len(args) > 1 else Path("REPORT.md")
+    try:
+        path = write_report(results_dir, output)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

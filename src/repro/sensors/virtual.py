@@ -1,0 +1,151 @@
+"""Virtual sensors: computationally derived measurements (Fig. 3 right).
+
+The paper distinguishes physical sensors from "computationally enabled
+virtual sensors" — orientation/compass/inclinometer fused from IMU parts,
+and situation contexts (location, activity, environment).  A
+:class:`VirtualSensor` composes underlying physical sensors and a fusion
+function while presenting the same ``read()`` interface, so probes and
+the middleware treat both kinds uniformly ("SenseDroid provides several
+virtual sensing probes").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import Environment, NodeState, Sensor, SensorSpec
+from .fusion import GRAVITY, heading_from_magnetometer, tilt_from_gravity
+from .physical import MagnetometerSensor
+
+__all__ = [
+    "VirtualSensor",
+    "InclinometerSensor",
+    "CompassSensor",
+    "OrientationSensor",
+]
+
+FusionFn = Callable[[Environment, NodeState, float], float]
+
+
+class VirtualSensor(Sensor):
+    """A sensor whose value is computed from other sensors / state.
+
+    Parameters
+    ----------
+    spec:
+        Spec describing the virtual quantity; its ``energy_per_sample_mj``
+        should reflect the *computation* cost only — the underlying
+        physical sensors account for their own sampling energy.
+    compute:
+        Function of ``(environment, node_state, timestamp)`` producing the
+        noise-free virtual value.
+    inputs:
+        The physical sensors consumed per virtual read; each is read once
+        per :meth:`read` call so energy accounting stays truthful.
+    """
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        compute: FusionFn,
+        inputs: list[Sensor] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(spec, rng)
+        self._compute = compute
+        self.inputs = inputs or []
+
+    def _true_value(self, env: Environment, state: NodeState, timestamp: float) -> float:
+        for sensor in self.inputs:
+            sensor.samples_taken += 1  # physical sampling cost is real
+        return self._compute(env, state, timestamp)
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Virtual-sensor energy including its physical inputs."""
+        return self.energy_spent_mj + sum(s.energy_spent_mj for s in self.inputs)
+
+
+def _device_gravity_vector(state: NodeState) -> tuple[float, float, float]:
+    """Accelerometer xyz for a phone held at a mode-typical tilt.
+
+    Idle phones lie flat (gravity on z); walking/driving phones are
+    pocketed at a steeper pitch.  Deterministic per mode so fusion tests
+    have exact expectations.
+    """
+    pitch_by_mode = {"idle": 0.0, "walking": 0.6, "driving": 0.3}
+    pitch = pitch_by_mode.get(state.mode, 0.0)
+    ax = -GRAVITY * np.sin(pitch)
+    ay = 0.0
+    az = GRAVITY * np.cos(pitch)
+    return float(ax), float(ay), float(az)
+
+
+class InclinometerSensor(VirtualSensor):
+    """Device pitch (radians) fused from the accelerometer gravity vector."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        spec = SensorSpec(
+            "inclinometer", unit="rad", noise_std=0.01,
+            energy_per_sample_mj=0.005, max_rate_hz=50.0,
+        )
+
+        def compute(env: Environment, state: NodeState, timestamp: float) -> float:
+            ax, ay, az = _device_gravity_vector(state)
+            pitch, _ = tilt_from_gravity(ax, ay, az)
+            return pitch
+
+        super().__init__(spec, compute, rng=rng)
+
+
+class CompassSensor(VirtualSensor):
+    """Tilt-compensated heading (radians) fused from magnetometer + tilt."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        spec = SensorSpec(
+            "compass", unit="rad", noise_std=0.02,
+            energy_per_sample_mj=0.005, max_rate_hz=50.0,
+        )
+        magnetometer = MagnetometerSensor(rng=rng)
+
+        def compute(env: Environment, state: NodeState, timestamp: float) -> float:
+            ax, ay, az = _device_gravity_vector(state)
+            pitch, roll = tilt_from_gravity(ax, ay, az)
+            field = MagnetometerSensor.EARTH_FIELD_UT
+            angle = state.heading + env.magnetic_declination
+            mx = field * np.cos(angle)
+            my = field * np.sin(angle)
+            return heading_from_magnetometer(
+                mx, my, 0.0, pitch, roll, declination=0.0
+            )
+
+        super().__init__(spec, compute, inputs=[magnetometer], rng=rng)
+
+
+class OrientationSensor(VirtualSensor):
+    """Full orientation summary: returns heading, with pitch/roll exposed
+    via :meth:`read_orientation` for callers needing all three angles."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        spec = SensorSpec(
+            "orientation", unit="rad", noise_std=0.02,
+            energy_per_sample_mj=0.01, max_rate_hz=50.0,
+        )
+
+        def compute(env: Environment, state: NodeState, timestamp: float) -> float:
+            return float(
+                (state.heading + env.magnetic_declination) % (2 * np.pi)
+            )
+
+        super().__init__(spec, compute, rng=rng)
+
+    def read_orientation(
+        self, env: Environment, state: NodeState, timestamp: float
+    ) -> tuple[float, float, float]:
+        """(heading, pitch, roll) tuple in radians."""
+        ax, ay, az = _device_gravity_vector(state)
+        pitch, roll = tilt_from_gravity(ax, ay, az)
+        heading = self.read(env, state, timestamp).value
+        return heading, pitch, roll

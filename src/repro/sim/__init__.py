@@ -1,0 +1,24 @@
+"""Simulation substrate: event clock, engine, and scenario builders."""
+
+from .clock import Event, SimClock
+from .engine import RoundRecord, SimulationEngine, SimulationResult
+from .scenario import (
+    Scenario,
+    earthquake_scenario,
+    fire_scenario,
+    smart_building_scenario,
+    traffic_scenario,
+)
+
+__all__ = [
+    "Event",
+    "SimClock",
+    "RoundRecord",
+    "SimulationEngine",
+    "SimulationResult",
+    "Scenario",
+    "earthquake_scenario",
+    "fire_scenario",
+    "smart_building_scenario",
+    "traffic_scenario",
+]

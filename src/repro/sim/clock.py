@@ -1,0 +1,118 @@
+"""Discrete-event simulation clock and event queue.
+
+A minimal but complete priority-queue event loop: events are (time,
+sequence, callback) triples; ties break by insertion order so runs are
+deterministic.  Used by :mod:`repro.sim.engine` to interleave mobility
+steps, field evolution, sensing rounds and context windows on their own
+periods.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "SimClock"]
+
+EventCallback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class SimClock:
+    """Deterministic event queue with periodic-event support."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_run = 0
+
+    def schedule(self, time: float, callback: EventCallback) -> Event:
+        """Schedule a one-shot callback at an absolute time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule relative to the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        start: float | None = None,
+        until: float | None = None,
+    ) -> None:
+        """Schedule a callback every ``period`` seconds.
+
+        The callback fires first at ``start`` (default: one period from
+        now) and re-arms itself after each firing while ``until`` (if
+        given) has not passed.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        first = self.now + period if start is None else start
+
+        def fire(now: float) -> None:
+            callback(now)
+            next_time = now + period
+            if until is None or next_time <= until:
+                self.schedule(next_time, fire)
+
+        if until is None or first <= until:
+            self.schedule(first, fire)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending one-shot event."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(event.time)
+            self.events_run += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> int:
+        """Run all events scheduled at or before ``end_time``.
+
+        Returns the number of events executed.  The clock lands exactly
+        on ``end_time`` afterwards even if the last event was earlier.
+        """
+        if end_time < self.now:
+            raise ValueError("cannot run backwards")
+        executed = 0
+        while self._queue:
+            if self._queue[0].time > end_time:
+                break
+            if self.step():
+                executed += 1
+        self.now = end_time
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

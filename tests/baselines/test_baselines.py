@@ -1,0 +1,90 @@
+"""Tests for the comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense import dense_gather
+from repro.baselines.global_cs import global_cs_gather, global_cs_transmissions
+from repro.baselines.uniform import uniform_gather
+from repro.core import metrics
+from repro.fields.generators import (
+    gaussian_plume_field,
+    smooth_field,
+    sparse_dct_field,
+)
+
+
+@pytest.fixture
+def truth():
+    return smooth_field(16, 8, cutoff=0.15, amplitude=4.0, offset=20.0, rng=0)
+
+
+class TestDense:
+    def test_noiseless_is_exact(self, truth):
+        result = dense_gather(truth)
+        assert np.array_equal(result.field.grid, truth.grid)
+        assert result.measurements == truth.n
+        assert result.messages == 2 * truth.n
+
+    def test_noise_passes_through(self, truth):
+        result = dense_gather(truth, noise_std=1.0, rng=1)
+        err = metrics.rmse(truth.vector(), result.field.vector())
+        assert 0.5 < err < 1.5
+
+
+class TestUniform:
+    def test_smooth_field_ok(self, truth):
+        result = uniform_gather(truth, m=40)
+        err = metrics.relative_error(truth.vector(), result.field.vector())
+        assert err < 0.1
+
+    def test_misses_localized_structure(self):
+        """A tight plume falls between uniform samples."""
+        plume = gaussian_plume_field(
+            32, 32, n_sources=1, spread=(1.0, 1.5), max_intensity=100.0,
+            rng=3,
+        )
+        result = uniform_gather(plume, m=40)
+        err = metrics.relative_error(plume.vector(), result.field.vector())
+        assert err > 0.3
+
+    def test_full_m_recovers_exactly(self, truth):
+        result = uniform_gather(truth, m=truth.n)
+        assert np.allclose(result.field.grid, truth.grid)
+
+    def test_invalid_m(self, truth):
+        with pytest.raises(ValueError):
+            uniform_gather(truth, m=0)
+        with pytest.raises(ValueError):
+            uniform_gather(truth, m=truth.n + 1)
+
+
+class TestGlobalCS:
+    def test_recovers_sparse_field(self):
+        field, alpha = sparse_dct_field(16, 8, sparsity=6, rng=4)
+        result = global_cs_gather(field, m=48, sparsity=6, rng=5)
+        err = metrics.relative_error(field.vector(), result.field.vector())
+        assert err < 1e-4
+
+    def test_transmissions_are_nm(self):
+        assert global_cs_transmissions(100, 10) == 1000
+        with pytest.raises(ValueError):
+            global_cs_transmissions(0, 5)
+
+    def test_transmission_count_recorded(self, truth):
+        result = global_cs_gather(truth, m=20, rng=6)
+        assert result.transmissions == truth.n * 20
+
+    def test_noise_degrades_gracefully(self):
+        field, _ = sparse_dct_field(16, 8, sparsity=4, rng=7)
+        clean = global_cs_gather(field, m=48, sparsity=4, rng=8)
+        noisy = global_cs_gather(
+            field, m=48, sparsity=4, noise_std=0.5, rng=8
+        )
+        err_clean = metrics.relative_error(field.vector(), clean.field.vector())
+        err_noisy = metrics.relative_error(field.vector(), noisy.field.vector())
+        assert err_noisy > err_clean
+
+    def test_invalid_m(self, truth):
+        with pytest.raises(ValueError):
+            global_cs_gather(truth, m=0)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the SenseDroid reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.fields.field import SpatialField
+from repro.fields.generators import urban_temperature_field
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_basis() -> np.ndarray:
+    """A 64-point DCT basis, big enough for CS yet fast."""
+    return dct_basis(64)
+
+
+@pytest.fixture
+def sparse_signal(rng, small_basis) -> tuple[np.ndarray, np.ndarray]:
+    """(x, alpha): a 5-sparse signal in the 64-point DCT basis."""
+    n = small_basis.shape[0]
+    alpha = np.zeros(n)
+    support = rng.choice(n, size=5, replace=False)
+    alpha[support] = rng.standard_normal(5) * 3.0 + np.sign(
+        rng.standard_normal(5)
+    )
+    return small_basis @ alpha, alpha
+
+
+@pytest.fixture
+def small_field() -> SpatialField:
+    """A deterministic 16x8 smooth temperature field."""
+    return urban_temperature_field(16, 8, rng=3)

@@ -1,0 +1,42 @@
+"""Tests for the activity classifier."""
+
+import numpy as np
+import pytest
+
+from repro.context.activity import MODES, classify_window
+from repro.sensors.physical import accelerometer_window
+
+
+class TestClassification:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_full_window_accuracy(self, mode):
+        correct = 0
+        trials = 20
+        for seed in range(trials):
+            sig = accelerometer_window(mode, 256, rng=seed)
+            estimate = classify_window(sig, 32.0)
+            correct += estimate.mode == mode
+        assert correct / trials >= 0.95
+
+    def test_confidence_in_unit_interval(self):
+        for mode in MODES:
+            sig = accelerometer_window(mode, 256, rng=0)
+            estimate = classify_window(sig, 32.0)
+            assert 0.0 <= estimate.confidence <= 1.0
+
+    def test_scores_sum_to_one(self):
+        sig = accelerometer_window("walking", 256, rng=1)
+        estimate = classify_window(sig, 32.0)
+        assert sum(estimate.scores.values()) == pytest.approx(1.0)
+
+    def test_idle_is_deterministic_on_silence(self):
+        estimate = classify_window(np.zeros(128), 32.0)
+        assert estimate.mode == "idle"
+        assert estimate.confidence == 1.0
+
+    def test_mode_matches_argmax_score(self):
+        for mode in MODES:
+            sig = accelerometer_window(mode, 256, rng=2)
+            estimate = classify_window(sig, 32.0)
+            best = max(estimate.scores, key=estimate.scores.get)
+            assert estimate.mode == best

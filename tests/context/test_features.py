@@ -1,0 +1,58 @@
+"""Tests for window feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.context.features import band_energy, extract_features
+from repro.sensors.physical import accelerometer_window
+
+
+class TestBandEnergy:
+    def test_pure_tone_lands_in_its_band(self):
+        rate = 32.0
+        n = 256
+        t = np.arange(n) / rate
+        tone = np.sin(2 * np.pi * 2.0 * t)  # 2 Hz
+        in_band = band_energy(tone, rate, 1.5, 2.5)
+        out_band = band_energy(tone, rate, 8.0, 16.0)
+        assert in_band > 100 * max(out_band, 1e-12)
+
+    def test_empty_band_is_zero(self):
+        assert band_energy(np.ones(64), 32.0, 15.9, 15.95) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_energy(np.array([]), 32.0, 0, 1)
+        with pytest.raises(ValueError):
+            band_energy(np.ones(8), 0.0, 0, 1)
+        with pytest.raises(ValueError):
+            band_energy(np.ones(8), 32.0, 2.0, 1.0)
+
+
+class TestExtractFeatures:
+    def test_idle_has_tiny_rms(self):
+        sig = accelerometer_window("idle", 256, rng=0)
+        features = extract_features(sig, 32.0)
+        assert features.rms < 0.1
+
+    def test_walking_dominated_by_step_band(self):
+        sig = accelerometer_window("walking", 256, rng=1)
+        features = extract_features(sig, 32.0)
+        assert features.step_energy > features.engine_energy
+        assert features.step_energy > features.sway_energy
+
+    def test_driving_dominated_by_sway_plus_engine(self):
+        sig = accelerometer_window("driving", 256, rng=2)
+        features = extract_features(sig, 32.0)
+        assert (
+            features.sway_energy + features.engine_energy
+            > features.step_energy
+        )
+
+    def test_as_array_shape(self):
+        sig = accelerometer_window("walking", 128, rng=3)
+        assert extract_features(sig, 32.0).as_array().shape == (5,)
+
+    def test_too_short_window(self):
+        with pytest.raises(ValueError):
+            extract_features(np.ones(4), 32.0)

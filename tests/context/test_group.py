@@ -1,0 +1,79 @@
+"""Tests for group context aggregation."""
+
+import pytest
+
+from repro.context.group import ContextReport, GroupAggregator
+
+
+def _report(node, kind, value, t=0.0):
+    return ContextReport(node_id=node, timestamp=t, kind=kind, value=value)
+
+
+class TestCategorical:
+    def test_consensus_and_distribution(self):
+        agg = GroupAggregator()
+        for i, mode in enumerate(["driving"] * 3 + ["idle"]):
+            agg.add(_report(f"n{i}", "activity", mode))
+        ctx = agg.aggregate("activity", now=0.0)
+        assert ctx.consensus == "driving"
+        assert ctx.count == 4
+        assert ctx.distribution["driving"] == pytest.approx(0.75)
+        assert ctx.mean is None
+
+
+class TestNumeric:
+    def test_mean_and_binning(self):
+        agg = GroupAggregator()
+        for i, stress in enumerate([0.1, 0.2, 0.8, 0.9]):
+            agg.add(_report(f"n{i}", "stress", stress))
+        ctx = agg.aggregate("stress", now=0.0)
+        assert ctx.mean == pytest.approx(0.5)
+        assert ctx.distribution["low"] == pytest.approx(0.5)
+        assert ctx.distribution["high"] == pytest.approx(0.5)
+
+    def test_stress_quotient(self):
+        agg = GroupAggregator()
+        agg.add(_report("mom", "stress", 0.4))
+        agg.add(_report("dad", "stress", 0.6))
+        assert agg.stress_quotient(now=0.0) == pytest.approx(0.5)
+
+    def test_stress_quotient_none_when_unshared(self):
+        assert GroupAggregator().stress_quotient(now=0.0) is None
+
+    def test_identical_values_single_bin(self):
+        agg = GroupAggregator()
+        for i in range(3):
+            agg.add(_report(f"n{i}", "exposure", 5.0))
+        ctx = agg.aggregate("exposure", now=0.0)
+        assert ctx.distribution == {"low": 1.0}
+
+
+class TestWindowing:
+    def test_old_reports_excluded(self):
+        agg = GroupAggregator(window_s=10.0)
+        agg.add(_report("n1", "activity", "idle", t=0.0))
+        agg.add(_report("n2", "activity", "driving", t=95.0))
+        ctx = agg.aggregate("activity", now=100.0)
+        assert ctx.count == 1
+        assert ctx.consensus == "driving"
+
+    def test_empty_window(self):
+        agg = GroupAggregator()
+        ctx = agg.aggregate("activity", now=0.0)
+        assert ctx.count == 0
+        assert ctx.consensus is None
+
+    def test_prune(self):
+        agg = GroupAggregator(window_s=10.0)
+        agg.add(_report("n1", "activity", "idle", t=0.0))
+        agg.add(_report("n2", "activity", "idle", t=50.0))
+        assert agg.prune(now=55.0) == 1
+
+
+class TestValidation:
+    def test_mixed_types_rejected(self):
+        agg = GroupAggregator()
+        agg.add(_report("n1", "weird", 1.0))
+        agg.add(_report("n2", "weird", "label"))
+        with pytest.raises(ValueError, match="mixes"):
+            agg.aggregate("weird", now=0.0)

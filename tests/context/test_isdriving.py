@@ -1,0 +1,92 @@
+"""Tests for the compressive IsDriving pipeline (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.context.isdriving import (
+    compressive_vs_uniform_trial,
+    detect_is_driving,
+)
+from repro.sensors.physical import accelerometer_window
+
+
+class TestDetection:
+    def test_detects_driving_at_m30(self):
+        """The paper's operating point: 30 of 256 samples suffice."""
+        correct = 0
+        for seed in range(10):
+            sig = accelerometer_window("driving", 256, rng=seed)
+            d = detect_is_driving(sig, 32.0, m=30, rng=100 + seed)
+            correct += d.is_driving
+        assert correct >= 9
+
+    def test_rejects_walking_and_idle(self):
+        for mode in ("idle", "walking"):
+            hits = 0
+            for seed in range(10):
+                sig = accelerometer_window(mode, 256, rng=seed)
+                d = detect_is_driving(sig, 32.0, m=30, rng=200 + seed)
+                hits += d.is_driving
+            assert hits <= 1
+
+    def test_error_decreases_with_m(self):
+        """Fig. 4's y-axis: median reconstruction error falls as M grows."""
+        sig = accelerometer_window("driving", 256, rng=3)
+        medians = []
+        for m in (15, 40, 100):
+            errs = [
+                detect_is_driving(
+                    sig, 32.0, m=m, rng=s
+                ).reconstruction_error
+                for s in range(7)
+            ]
+            medians.append(np.median(errs))
+        assert medians[0] > medians[1] > medians[2]
+
+    def test_compression_ratio(self):
+        sig = accelerometer_window("driving", 256, rng=4)
+        d = detect_is_driving(sig, 32.0, m=32, rng=0)
+        assert d.compression_ratio == pytest.approx(32 / 256)
+
+    def test_explicit_locations(self):
+        sig = accelerometer_window("driving", 256, rng=5)
+        loc = np.arange(0, 256, 4)
+        d = detect_is_driving(sig, 32.0, locations=loc)
+        assert d.m == 64
+
+    def test_default_m_is_one_eighth(self):
+        sig = accelerometer_window("driving", 256, rng=6)
+        d = detect_is_driving(sig, 32.0, rng=1)
+        assert d.m == 32
+
+    def test_short_window_rejected(self):
+        with pytest.raises(ValueError):
+            detect_is_driving(np.zeros(8), 32.0)
+
+
+class TestTrial:
+    def test_matched_comparison(self):
+        sig = accelerometer_window("driving", 256, rng=7)
+        outcome = compressive_vs_uniform_trial(
+            sig, "driving", 32.0, m=32, rng=2
+        )
+        assert outcome.uniform_samples == 256
+        assert outcome.compressive_samples == 32
+        assert outcome.uniform_mode == "driving"
+        assert outcome.compressive_mode == "driving"
+
+    def test_accuracy_parity_at_paper_operating_point(self):
+        """Compressive classification matches uniform on >=90% of windows
+        while taking 8x fewer samples — the paper's 'similar accuracy
+        while saving energy'."""
+        agree = 0
+        trials = 0
+        for mode in ("idle", "walking", "driving"):
+            for seed in range(8):
+                sig = accelerometer_window(mode, 256, rng=seed)
+                outcome = compressive_vs_uniform_trial(
+                    sig, mode, 32.0, m=32, rng=300 + seed
+                )
+                agree += outcome.uniform_mode == outcome.compressive_mode
+                trials += 1
+        assert agree / trials >= 0.9

@@ -1,0 +1,105 @@
+"""Tests for the compressive IsIndoor flag (GPS/WiFi duty cycling)."""
+
+import numpy as np
+import pytest
+
+from repro.context.isindoor import detect_indoor_trace, observe_indoor
+from repro.fields.field import SpatialField
+from repro.fields.generators import indicator_field
+from repro.sensors.base import Environment, NodeState
+from repro.sensors.physical import GPSSensor, WiFiSensor
+
+
+@pytest.fixture
+def env():
+    return Environment(indoor_map=indicator_field(32, 32, n_regions=5, rng=2))
+
+
+def _walk_states(n=200, seed=0, step_std=0.25):
+    """A slow pedestrian walk: indoor/outdoor periods last tens of steps,
+    which is the piecewise-constant regime the compressive IsIndoor flag
+    assumes (people do not teleport between buildings every second)."""
+    rng = np.random.default_rng(seed)
+    xs = np.clip(16 + np.cumsum(rng.normal(0, step_std, n)), 0, 31)
+    ys = np.clip(16 + np.cumsum(rng.normal(0, step_std, n)), 0, 31)
+    return [NodeState(x=float(x), y=float(y)) for x, y in zip(xs, ys)]
+
+
+class TestObserve:
+    def test_indoor_cell_flags_indoor(self, env):
+        grid = env.indoor_map.grid
+        j, i = np.argwhere(grid > 0.5)[0]
+        state = NodeState(x=float(i), y=float(j))
+        votes = [
+            observe_indoor(
+                GPSSensor(rng=s), WiFiSensor(rng=s), env, state, 0.0
+            ).is_indoor
+            for s in range(20)
+        ]
+        assert np.mean(votes) > 0.8
+
+    def test_outdoor_cell_flags_outdoor(self, env):
+        grid = env.indoor_map.grid
+        j, i = np.argwhere(grid < 0.5)[0]
+        state = NodeState(x=float(i), y=float(j))
+        votes = [
+            observe_indoor(
+                GPSSensor(rng=s), WiFiSensor(rng=s), env, state, 0.0
+            ).is_indoor
+            for s in range(20)
+        ]
+        assert np.mean(votes) < 0.3
+
+    def test_energy_is_gps_plus_wifi(self, env):
+        gps, wifi = GPSSensor(rng=0), WiFiSensor(rng=0)
+        obs = observe_indoor(gps, wifi, env, NodeState(), 0.0)
+        assert obs.energy_mj == pytest.approx(
+            gps.spec.energy_per_sample_mj + wifi.spec.energy_per_sample_mj
+        )
+
+
+class TestTraceDetection:
+    def test_full_duty_cycle_accuracy(self, env):
+        result = detect_indoor_trace(
+            _walk_states(), env, duty_cycle=1.0, rng=1
+        )
+        assert result.accuracy > 0.85
+        assert result.duty_cycle == 1.0
+
+    def test_low_duty_cycle_similar_accuracy(self, env):
+        """The paper's claim: compressive GPS/WiFi sampling keeps
+        'similar accuracy while saving energy'."""
+        full = detect_indoor_trace(_walk_states(), env, duty_cycle=1.0, rng=2)
+        fifth = detect_indoor_trace(_walk_states(), env, duty_cycle=0.2, rng=2)
+        assert fifth.accuracy > full.accuracy - 0.1
+
+    def test_energy_scales_with_duty_cycle(self, env):
+        full = detect_indoor_trace(_walk_states(), env, duty_cycle=1.0, rng=3)
+        tenth = detect_indoor_trace(_walk_states(), env, duty_cycle=0.1, rng=3)
+        assert tenth.energy_mj < 0.15 * full.energy_mj
+
+    def test_all_outdoor_environment(self):
+        env = Environment(
+            indoor_map=SpatialField(grid=np.zeros((8, 8)))
+        )
+        result = detect_indoor_trace(
+            _walk_states(50, seed=4), env, duty_cycle=0.2, rng=4
+        )
+        assert result.accuracy > 0.9
+
+    def test_flag_lengths_match(self, env):
+        states = _walk_states(77, seed=5)
+        result = detect_indoor_trace(states, env, duty_cycle=0.3, rng=5)
+        assert result.flags.size == result.truth.size == 77
+
+    def test_instant_zero_always_sampled(self, env):
+        result = detect_indoor_trace(
+            _walk_states(50, seed=6), env, duty_cycle=0.05, rng=6
+        )
+        assert 0 in result.sampled_instants.tolist()
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            detect_indoor_trace([], env)
+        with pytest.raises(ValueError):
+            detect_indoor_trace(_walk_states(5), env, duty_cycle=0.0)

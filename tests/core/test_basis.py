@@ -1,0 +1,153 @@
+"""Tests for repro.core.basis: orthonormality and synthesis semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import (
+    BASIS_NAMES,
+    basis_by_name,
+    dct_basis,
+    dct_vector,
+    dft_basis,
+    haar_basis,
+    idct_vector,
+    identity_basis,
+    pca_basis,
+)
+
+
+class TestDCTBasis:
+    def test_orthonormal(self):
+        phi = dct_basis(32)
+        assert np.allclose(phi.T @ phi, np.eye(32), atol=1e-10)
+
+    def test_synthesis_matches_fast_path(self):
+        rng = np.random.default_rng(0)
+        alpha = rng.standard_normal(48)
+        phi = dct_basis(48)
+        assert np.allclose(phi @ alpha, idct_vector(alpha), atol=1e-10)
+
+    def test_analysis_matches_fast_path(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(48)
+        phi = dct_basis(48)
+        assert np.allclose(phi.T @ x, dct_vector(x), atol=1e-10)
+
+    def test_first_column_is_constant(self):
+        phi = dct_basis(16)
+        first = phi[:, 0]
+        assert np.allclose(first, first[0])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dct_basis(0)
+        with pytest.raises(ValueError):
+            dct_basis(-4)
+
+    @given(st.integers(min_value=2, max_value=96))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_any_size(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        phi = dct_basis(n)
+        assert np.allclose(phi @ (phi.T @ x), x, atol=1e-9)
+
+
+class TestDFTBasis:
+    def test_unitary(self):
+        phi = dft_basis(16)
+        assert np.allclose(phi @ phi.conj().T, np.eye(16), atol=1e-10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dft_basis(0)
+
+
+class TestHaarBasis:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64])
+    def test_orthonormal(self, n):
+        phi = haar_basis(n)
+        assert np.allclose(phi.T @ phi, np.eye(n), atol=1e-10)
+
+    def test_rejects_non_power_of_two(self):
+        for bad in (3, 5, 6, 12, 100):
+            with pytest.raises(ValueError):
+                haar_basis(bad)
+
+    def test_step_function_is_sparse(self):
+        """A single step is K=O(log N)-sparse in Haar."""
+        n = 32
+        x = np.zeros(n)
+        x[16:] = 1.0
+        phi = haar_basis(n)
+        alpha = phi.T @ x
+        nonzero = np.count_nonzero(np.abs(alpha) > 1e-9)
+        assert nonzero <= 2 + int(np.log2(n))
+
+
+class TestIdentityBasis:
+    def test_is_identity(self):
+        assert np.array_equal(identity_basis(5), np.eye(5))
+
+
+class TestPCABasis:
+    def test_full_basis_is_orthogonal(self):
+        rng = np.random.default_rng(7)
+        traces = rng.standard_normal((10, 12))
+        phi = pca_basis(traces)
+        assert phi.shape == (12, 12)
+        assert np.allclose(phi.T @ phi, np.eye(12), atol=1e-8)
+
+    def test_leading_component_captures_dominant_direction(self):
+        rng = np.random.default_rng(8)
+        direction = np.ones(16) / 4.0
+        traces = (
+            np.outer(rng.standard_normal(40) * 10.0, direction)
+            + rng.standard_normal((40, 16)) * 0.01
+        )
+        phi = pca_basis(traces)
+        overlap = abs(phi[:, 0] @ direction)
+        assert overlap > 0.99
+
+    def test_traces_are_sparse_in_learned_basis(self):
+        """Fields from a low-rank process need few PCA coefficients."""
+        rng = np.random.default_rng(9)
+        factors = rng.standard_normal((3, 20))
+        weights = rng.standard_normal((30, 3))
+        traces = weights @ factors
+        phi = pca_basis(traces)
+        sample = traces[0] - traces.mean(axis=0)
+        alpha = phi.T @ sample
+        energy = np.cumsum(np.sort(alpha**2)[::-1]) / np.sum(alpha**2)
+        assert energy[2] > 0.999  # 3 components capture ~everything
+
+    def test_energy_truncation_still_square(self):
+        rng = np.random.default_rng(10)
+        traces = rng.standard_normal((6, 10))
+        phi = pca_basis(traces, energy=0.5)
+        assert phi.shape == (10, 10)
+        assert np.allclose(phi.T @ phi, np.eye(10), atol=1e-8)
+
+    def test_invalid_energy(self):
+        traces = np.ones((3, 4))
+        with pytest.raises(ValueError):
+            pca_basis(traces, energy=0.0)
+        with pytest.raises(ValueError):
+            pca_basis(traces, energy=1.5)
+
+
+class TestBasisByName:
+    @pytest.mark.parametrize("name", BASIS_NAMES)
+    def test_known_names(self, name):
+        n = 16  # power of two so haar works too
+        phi = basis_by_name(name, n)
+        assert phi.shape == (n, n)
+
+    def test_case_insensitive(self):
+        assert np.allclose(basis_by_name("DCT", 8), dct_basis(8))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown basis"):
+            basis_by_name("fourier-bessel", 8)

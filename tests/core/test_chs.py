@@ -1,0 +1,127 @@
+"""Tests for the Compressive Heterogeneous Sensing algorithm (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.core.chs import (
+    chs,
+    linear_interpolate,
+    nearest_interpolate,
+    zero_fill_interpolate,
+)
+from repro.core.sampling import random_locations
+
+
+def _smooth_problem(n=64, k=4, m=28, seed=0):
+    """K-sparse in the low-frequency DCT band — the paper's field regime."""
+    rng = np.random.default_rng(seed)
+    phi = dct_basis(n)
+    support = rng.choice(n // 6, size=k, replace=False)
+    alpha = np.zeros(n)
+    alpha[support] = rng.uniform(1.0, 3.0, k) * rng.choice([-1, 1], k)
+    x = phi @ alpha
+    loc = random_locations(n, m, rng)
+    return phi, alpha, x, loc
+
+
+class TestInterpolators:
+    def test_zero_fill_places_values(self):
+        out = zero_fill_interpolate(np.array([2.0, 3.0]), np.array([1, 4]), 6)
+        assert np.array_equal(out, [0, 2, 0, 0, 3, 0])
+
+    def test_linear_passes_through_samples(self):
+        loc = np.array([0, 5, 9])
+        vals = np.array([1.0, -1.0, 4.0])
+        out = linear_interpolate(vals, loc, 10)
+        assert np.allclose(out[loc], vals)
+
+    def test_nearest_is_piecewise_constant(self):
+        out = nearest_interpolate(np.array([1.0, 9.0]), np.array([0, 9]), 10)
+        assert set(np.unique(out).tolist()) == {1.0, 9.0}
+
+
+class TestReconstruction:
+    def test_recovers_smooth_sparse_field(self):
+        phi, alpha, x, loc = _smooth_problem()
+        result = chs(phi, x[loc], loc, max_sparsity=10)
+        rel = np.linalg.norm(result.reconstruction - x) / np.linalg.norm(x)
+        assert rel < 1e-6
+
+    def test_linear_interpolator_works_on_smooth_fields(self):
+        phi, alpha, x, loc = _smooth_problem(m=36, seed=1)
+        result = chs(
+            phi, x[loc], loc, max_sparsity=12,
+            interpolator=linear_interpolate,
+        )
+        rel = np.linalg.norm(result.reconstruction - x) / np.linalg.norm(x)
+        assert rel < 0.1
+
+    def test_outputs_are_consistent(self):
+        """x_hat == Phi[:, J] @ alpha_K == Phi @ coefficients (Fig. 6 step 4)."""
+        phi, _, x, loc = _smooth_problem(seed=2)
+        result = chs(phi, x[loc], loc, max_sparsity=8)
+        assert np.allclose(
+            result.reconstruction, phi @ result.coefficients, atol=1e-8
+        )
+
+    def test_sensing_matrix_shape(self):
+        phi, _, x, loc = _smooth_problem(seed=3)
+        result = chs(phi, x[loc], loc, max_sparsity=8)
+        assert result.sensing_matrix.shape == (loc.size, result.support.size)
+
+    def test_respects_max_sparsity(self):
+        phi, _, x, loc = _smooth_problem(k=8, seed=4)
+        result = chs(phi, x[loc], loc, max_sparsity=5, batch_size=2)
+        assert result.support.size <= 5
+
+    def test_default_sparsity_keeps_system_overdetermined(self):
+        phi, _, x, loc = _smooth_problem(m=12, seed=5)
+        result = chs(phi, x[loc], loc)
+        assert result.support.size < loc.size  # K < M (paper requirement)
+
+    def test_batch_size_one_mimics_omp_style_growth(self):
+        phi, _, x, loc = _smooth_problem(seed=6)
+        result = chs(phi, x[loc], loc, max_sparsity=6, batch_size=1)
+        assert result.iterations == len(result.residual_history)
+        assert result.support.size <= 6
+
+    def test_residual_tolerance_stop(self):
+        phi, _, x, loc = _smooth_problem(k=2, seed=7)
+        result = chs(phi, x[loc], loc, max_sparsity=20, batch_size=2, tol=1e-8)
+        assert result.support.size <= 8  # stopped well before the cap
+
+    def test_gls_refit_with_heterogeneous_noise(self):
+        phi, alpha, x, loc = _smooth_problem(m=32, seed=8)
+        rng = np.random.default_rng(9)
+        stds = np.where(np.arange(loc.size) % 2 == 0, 0.01, 2.0)
+        y = x[loc] + rng.standard_normal(loc.size) * stds
+        with_gls = chs(
+            phi, y, loc, max_sparsity=6, covariance=np.diag(stds**2)
+        )
+        without = chs(phi, y, loc, max_sparsity=6)
+        err_gls = np.linalg.norm(with_gls.reconstruction - x)
+        err_ols = np.linalg.norm(without.reconstruction - x)
+        assert err_gls < err_ols
+
+
+class TestValidation:
+    def test_requires_square_basis(self):
+        with pytest.raises(ValueError):
+            chs(np.ones((4, 3)), np.ones(2), np.array([0, 1]))
+
+    def test_measurement_location_mismatch(self):
+        with pytest.raises(ValueError):
+            chs(np.eye(8), np.ones(3), np.array([0, 1]))
+
+    def test_location_out_of_range(self):
+        with pytest.raises(IndexError):
+            chs(np.eye(8), np.ones(2), np.array([0, 8]))
+
+    def test_empty_measurements(self):
+        with pytest.raises(ValueError):
+            chs(np.eye(8), np.array([]), np.array([], dtype=int))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            chs(np.eye(8), np.ones(2), np.array([0, 1]), batch_size=0)

@@ -1,0 +1,112 @@
+"""Tests for the CoSaMP and IHT solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import dct_basis
+from repro.core.greedy import cosamp, iht
+from repro.core.sampling import gaussian_sensing_matrix, random_locations
+
+
+def _sparse_problem(n=128, k=5, m=60, seed=0):
+    rng = np.random.default_rng(seed)
+    phi = dct_basis(n)
+    support = rng.choice(n, size=k, replace=False)
+    alpha = np.zeros(n)
+    alpha[support] = rng.uniform(1.0, 3.0, k) * rng.choice([-1, 1], k)
+    loc = random_locations(n, m, rng)
+    return phi[loc, :], alpha, (phi @ alpha)[loc], support
+
+
+class TestCoSaMP:
+    def test_exact_recovery(self):
+        a, alpha, y, support = _sparse_problem(seed=1)
+        result = cosamp(a, y, sparsity=5)
+        assert np.allclose(result.coefficients, alpha, atol=1e-6)
+        assert set(result.support.tolist()) == set(support.tolist())
+        assert result.converged
+
+    def test_gaussian_operator(self):
+        rng = np.random.default_rng(2)
+        n, k, m = 200, 8, 80
+        alpha = np.zeros(n)
+        sup = rng.choice(n, k, replace=False)
+        alpha[sup] = rng.standard_normal(k) * 3 + np.sign(rng.standard_normal(k))
+        a = gaussian_sensing_matrix(m, n, rng)
+        result = cosamp(a, a @ alpha, sparsity=k)
+        assert np.allclose(result.coefficients, alpha, atol=1e-5)
+
+    def test_self_correction_beats_wrong_early_choice(self):
+        """CoSaMP prunes, so a transiently selected wrong atom is evicted;
+        the final support is exactly K."""
+        a, alpha, y, _ = _sparse_problem(k=6, m=50, seed=3)
+        result = cosamp(a, y, sparsity=6)
+        assert result.support.size <= 6
+
+    def test_noise_robustness(self):
+        a, alpha, y, _ = _sparse_problem(seed=4)
+        rng = np.random.default_rng(5)
+        noisy = y + rng.standard_normal(y.size) * 0.05
+        result = cosamp(a, noisy, sparsity=5)
+        rel = np.linalg.norm(result.coefficients - alpha) / np.linalg.norm(alpha)
+        assert rel < 0.1
+
+    def test_residual_history_recorded(self):
+        a, _, y, _ = _sparse_problem(seed=6)
+        result = cosamp(a, y, sparsity=5)
+        assert len(result.residual_history) == result.iterations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosamp(np.ones((4, 8)), np.ones(3), sparsity=2)
+        with pytest.raises(ValueError):
+            cosamp(np.ones((4, 8)), np.ones(4), sparsity=0)
+        with pytest.raises(ValueError):
+            cosamp(np.ones(8), np.ones(8), sparsity=2)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_recovery_across_sparsities(self, k):
+        a, alpha, y, _ = _sparse_problem(k=k, m=60, seed=100 + k)
+        result = cosamp(a, y, sparsity=k)
+        rel = np.linalg.norm(result.coefficients - alpha) / np.linalg.norm(alpha)
+        assert rel < 1e-5
+
+
+class TestIHT:
+    def test_recovery_with_gaussian_operator(self):
+        rng = np.random.default_rng(7)
+        n, k, m = 128, 4, 64
+        alpha = np.zeros(n)
+        sup = rng.choice(n, k, replace=False)
+        alpha[sup] = rng.uniform(1.0, 2.0, k) * rng.choice([-1, 1], k)
+        a = gaussian_sensing_matrix(m, n, rng)
+        result = iht(a, a @ alpha, sparsity=k, max_iterations=500)
+        rel = np.linalg.norm(result.coefficients - alpha) / np.linalg.norm(alpha)
+        assert rel < 1e-3
+
+    def test_residual_non_increasing(self):
+        a, _, y, _ = _sparse_problem(seed=8)
+        result = iht(a, y, sparsity=5, max_iterations=100)
+        history = result.residual_history
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(history, history[1:])
+        )
+
+    def test_support_size_bounded(self):
+        a, _, y, _ = _sparse_problem(seed=9)
+        result = iht(a, y, sparsity=5)
+        assert result.support.size <= 5
+
+    def test_custom_step_validation(self):
+        a, _, y, _ = _sparse_problem(seed=10)
+        with pytest.raises(ValueError):
+            iht(a, y, sparsity=3, step=0.0)
+
+    def test_zero_measurements(self):
+        a, _, _, _ = _sparse_problem(seed=11)
+        result = iht(a, np.zeros(a.shape[0]), sparsity=3)
+        assert np.allclose(result.coefficients, 0.0)

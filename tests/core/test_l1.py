@@ -1,0 +1,99 @@
+"""Tests for L1 basis pursuit via LP (paper eqs. 9-10, noisy eq. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.core.l1 import l1_solve, l1_solve_noisy
+from repro.core.sampling import random_locations
+
+
+def _problem(n=64, k=4, m=28, seed=0):
+    rng = np.random.default_rng(seed)
+    phi = dct_basis(n)
+    support = rng.choice(n, size=k, replace=False)
+    alpha = np.zeros(n)
+    alpha[support] = rng.uniform(1.0, 3.0, k) * rng.choice([-1, 1], k)
+    x = phi @ alpha
+    loc = random_locations(n, m, rng)
+    return phi, alpha, x, loc
+
+
+class TestExactL1:
+    def test_recovers_sparse_signal(self):
+        phi, alpha, x, loc = _problem()
+        result = l1_solve(phi[loc, :], x[loc])
+        assert result.success
+        assert np.allclose(result.coefficients, alpha, atol=1e-5)
+
+    def test_support_extraction(self):
+        phi, alpha, x, loc = _problem(seed=1)
+        result = l1_solve(phi[loc, :], x[loc])
+        true_support = set(np.flatnonzero(alpha).tolist())
+        assert true_support <= set(result.support.tolist())
+
+    def test_objective_equals_l1_norm(self):
+        phi, alpha, x, loc = _problem(seed=2)
+        result = l1_solve(phi[loc, :], x[loc])
+        assert result.objective == pytest.approx(
+            np.abs(result.coefficients).sum(), rel=1e-6
+        )
+
+    def test_l1_minimality(self):
+        """The returned solution's L1 norm does not exceed the truth's
+        (the truth is feasible, so BP must do at least as well)."""
+        phi, alpha, x, loc = _problem(seed=3)
+        result = l1_solve(phi[loc, :], x[loc])
+        assert np.abs(result.coefficients).sum() <= np.abs(alpha).sum() + 1e-6
+
+    def test_measurement_constraint_satisfied(self):
+        phi, _, x, loc = _problem(seed=4)
+        result = l1_solve(phi[loc, :], x[loc])
+        assert np.allclose(
+            phi[loc, :] @ result.coefficients, x[loc], atol=1e-6
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            l1_solve(np.ones((3, 5)), np.ones(4))
+
+    def test_non_2d(self):
+        with pytest.raises(ValueError):
+            l1_solve(np.ones(5), np.ones(5))
+
+
+class TestNoisyL1:
+    def test_tolerates_bounded_noise(self):
+        phi, alpha, x, loc = _problem(seed=5)
+        rng = np.random.default_rng(6)
+        noise = rng.uniform(-0.05, 0.05, loc.size)
+        result = l1_solve_noisy(phi[loc, :], x[loc] + noise, epsilon=0.06)
+        assert result.success
+        rel = np.linalg.norm(result.coefficients - alpha) / np.linalg.norm(alpha)
+        assert rel < 0.2
+
+    def test_zero_epsilon_matches_exact(self):
+        phi, alpha, x, loc = _problem(seed=7)
+        noisy = l1_solve_noisy(phi[loc, :], x[loc], epsilon=0.0)
+        exact = l1_solve(phi[loc, :], x[loc])
+        assert noisy.success and exact.success
+        assert np.allclose(
+            noisy.coefficients, exact.coefficients, atol=1e-4
+        )
+
+    def test_residual_within_budget(self):
+        phi, _, x, loc = _problem(seed=8)
+        epsilon = 0.1
+        result = l1_solve_noisy(phi[loc, :], x[loc], epsilon=epsilon)
+        residual = x[loc] - phi[loc, :] @ result.coefficients
+        assert np.max(np.abs(residual)) <= epsilon + 1e-6
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            l1_solve_noisy(np.eye(3), np.ones(3), epsilon=-0.1)
+
+    def test_larger_epsilon_never_increases_objective(self):
+        phi, _, x, loc = _problem(seed=9)
+        tight = l1_solve_noisy(phi[loc, :], x[loc], epsilon=0.01)
+        loose = l1_solve_noisy(phi[loc, :], x[loc], epsilon=0.5)
+        assert loose.objective <= tight.objective + 1e-9

@@ -1,0 +1,143 @@
+"""Tests for OLS (eq. 11) and GLS (eq. 12) estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.least_squares import (
+    condition_number,
+    gls_solve,
+    ols_solve,
+    whiten,
+)
+
+
+class TestOLS:
+    def test_exact_on_noiseless_system(self):
+        rng = np.random.default_rng(0)
+        phi = rng.standard_normal((20, 5))
+        alpha_true = rng.standard_normal(5)
+        alpha = ols_solve(phi, phi @ alpha_true)
+        assert np.allclose(alpha, alpha_true, atol=1e-10)
+
+    def test_square_system(self):
+        rng = np.random.default_rng(1)
+        phi = rng.standard_normal((5, 5)) + 2 * np.eye(5)
+        alpha_true = rng.standard_normal(5)
+        assert np.allclose(
+            ols_solve(phi, phi @ alpha_true), alpha_true, atol=1e-8
+        )
+
+    def test_minimises_residual(self):
+        rng = np.random.default_rng(2)
+        phi = rng.standard_normal((30, 4))
+        y = rng.standard_normal(30)
+        alpha = ols_solve(phi, y)
+        base = np.linalg.norm(y - phi @ alpha)
+        for _ in range(10):
+            perturbed = alpha + rng.standard_normal(4) * 0.1
+            assert np.linalg.norm(y - phi @ perturbed) >= base - 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ols_solve(np.ones((3, 2)), np.ones(4))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ols_solve(np.ones(3), np.ones(3))
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_projection_idempotent(self, k):
+        """Refitting the OLS reconstruction returns the same coefficients."""
+        rng = np.random.default_rng(k)
+        phi = rng.standard_normal((20, k))
+        y = rng.standard_normal(20)
+        alpha = ols_solve(phi, y)
+        alpha2 = ols_solve(phi, phi @ alpha)
+        assert np.allclose(alpha, alpha2, atol=1e-8)
+
+
+class TestWhiten:
+    def test_scalar_variance(self):
+        phi = np.ones((3, 2))
+        y = np.ones(3)
+        phi_w, y_w = whiten(phi, y, np.asarray(4.0))
+        assert np.allclose(phi_w, phi / 2.0)
+        assert np.allclose(y_w, y / 2.0)
+
+    def test_vector_variance(self):
+        phi = np.ones((2, 1))
+        y = np.array([1.0, 2.0])
+        phi_w, y_w = whiten(phi, y, np.array([1.0, 4.0]))
+        assert np.allclose(y_w, [1.0, 1.0])
+
+    def test_full_matrix_reduces_to_diag(self):
+        rng = np.random.default_rng(3)
+        phi = rng.standard_normal((4, 2))
+        y = rng.standard_normal(4)
+        variances = np.array([1.0, 2.0, 3.0, 4.0])
+        via_vector = whiten(phi, y, variances)
+        via_matrix = whiten(phi, y, np.diag(variances))
+        assert np.allclose(via_vector[0], via_matrix[0], atol=1e-10)
+        assert np.allclose(via_vector[1], via_matrix[1], atol=1e-10)
+
+    def test_invalid_variances(self):
+        phi, y = np.ones((2, 1)), np.ones(2)
+        with pytest.raises(ValueError):
+            whiten(phi, y, np.asarray(0.0))
+        with pytest.raises(ValueError):
+            whiten(phi, y, np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            whiten(phi, y, np.array([1.0, 1.0, 1.0]))
+
+
+class TestGLS:
+    def test_identity_covariance_equals_ols(self):
+        rng = np.random.default_rng(4)
+        phi = rng.standard_normal((15, 3))
+        y = rng.standard_normal(15)
+        assert np.allclose(
+            gls_solve(phi, y, np.eye(15)), ols_solve(phi, y), atol=1e-10
+        )
+
+    def test_beats_ols_under_heteroscedastic_noise(self):
+        """Statistical test: with wildly different sensor noise, GLS's
+        estimate error is smaller than OLS's on average (eq. 12's point)."""
+        rng = np.random.default_rng(5)
+        m, k = 40, 4
+        stds = np.where(np.arange(m) < m // 2, 0.01, 5.0)
+        gls_err = ols_err = 0.0
+        for _ in range(30):
+            phi = rng.standard_normal((m, k))
+            alpha_true = rng.standard_normal(k)
+            y = phi @ alpha_true + rng.standard_normal(m) * stds
+            gls_err += np.linalg.norm(
+                gls_solve(phi, y, stds**2) - alpha_true
+            )
+            ols_err += np.linalg.norm(ols_solve(phi, y) - alpha_true)
+        assert gls_err < ols_err
+
+    def test_downweights_noisy_sensor(self):
+        """One wildly-off noisy sensor barely moves the GLS estimate."""
+        phi = np.ones((3, 1))
+        y = np.array([1.0, 1.0, 100.0])
+        variances = np.array([1.0, 1.0, 1e6])
+        alpha = gls_solve(phi, y, variances)
+        assert abs(alpha[0] - 1.0) < 0.1
+
+
+class TestConditionNumber:
+    def test_orthonormal_is_one(self):
+        q, _ = np.linalg.qr(np.random.default_rng(6).standard_normal((8, 4)))
+        assert condition_number(q) == pytest.approx(1.0, abs=1e-8)
+
+    def test_grows_with_near_dependence(self):
+        base = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1e-8]])
+        nearly = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-8], [1.0, 1.0]])
+        assert condition_number(nearly) > condition_number(base)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            condition_number(np.zeros((0, 0)))

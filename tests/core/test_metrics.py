@@ -1,0 +1,96 @@
+"""Tests for reconstruction metrics (identities and edge cases)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.metrics import (
+    max_abs_error,
+    mse,
+    nmse,
+    psnr_db,
+    relative_error,
+    rmse,
+    snr_db,
+    support_recovery_rate,
+)
+
+finite_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=32),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestIdentities:
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_error_on_identical(self, x):
+        assert mse(x, x) == 0.0
+        assert nmse(x, x) == 0.0
+        assert max_abs_error(x, x) == 0.0
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_rmse_is_sqrt_mse(self, x):
+        y = x + 1.0
+        assert rmse(x, y) == pytest.approx(np.sqrt(mse(x, y)))
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_relative_error_is_sqrt_nmse(self, x):
+        y = x * 0.5
+        assert relative_error(x, y) == pytest.approx(np.sqrt(nmse(x, y)))
+
+    def test_snr_inverse_of_nmse(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.1, 2.0, 3.0])
+        assert snr_db(x, y) == pytest.approx(-10 * np.log10(nmse(x, y)))
+
+
+class TestEdgeCases:
+    def test_zero_reference_nonzero_estimate(self):
+        assert nmse(np.zeros(4), np.ones(4)) == float("inf")
+
+    def test_zero_reference_zero_estimate(self):
+        assert nmse(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_perfect_snr_is_infinite(self):
+        x = np.arange(5, dtype=float)
+        assert snr_db(x, x) == float("inf")
+        assert psnr_db(x, x) == float("inf")
+
+    def test_flat_reference_psnr(self):
+        x = np.ones(4)
+        assert psnr_db(x, x + 0.1) == float("-inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.ones(3), np.ones(4))
+
+    def test_empty_signals_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.array([]), np.array([]))
+
+    def test_matrices_are_flattened(self):
+        a = np.arange(6, dtype=float).reshape(2, 3)
+        assert mse(a, a.copy()) == 0.0
+
+
+class TestSupportRecovery:
+    def test_full_recovery(self):
+        assert support_recovery_rate(np.array([1, 5, 9]), np.array([9, 1, 5])) == 1.0
+
+    def test_partial(self):
+        assert support_recovery_rate(np.array([1, 2, 3, 4]), np.array([1, 2])) == 0.5
+
+    def test_empty_truth_is_trivially_recovered(self):
+        assert support_recovery_rate(np.array([]), np.array([3])) == 1.0
+
+    def test_extra_estimates_do_not_help(self):
+        rate = support_recovery_rate(np.array([1]), np.arange(100))
+        assert rate == 1.0

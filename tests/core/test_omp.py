@@ -1,0 +1,111 @@
+"""Tests for orthogonal matching pursuit (paper eq. 13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import dct_basis
+from repro.core.omp import omp
+from repro.core.sampling import gaussian_sensing_matrix, random_locations
+
+
+def _sparse_problem(n, k, m, seed, low_freq=True):
+    rng = np.random.default_rng(seed)
+    phi = dct_basis(n)
+    pool = n // 4 if low_freq else n
+    support = rng.choice(pool, size=k, replace=False)
+    alpha = np.zeros(n)
+    alpha[support] = (rng.uniform(1.0, 3.0, k)) * rng.choice([-1, 1], k)
+    x = phi @ alpha
+    loc = random_locations(n, m, rng)
+    return phi, alpha, x, loc, support
+
+
+class TestExactRecovery:
+    def test_recovers_sparse_signal(self):
+        phi, alpha, x, loc, support = _sparse_problem(64, 4, 24, seed=0)
+        result = omp(phi[loc, :], x[loc], sparsity=4)
+        assert np.allclose(result.coefficients, alpha, atol=1e-6)
+        assert set(result.support.tolist()) == set(support.tolist())
+
+    def test_gaussian_measurements(self):
+        rng = np.random.default_rng(1)
+        n, k, m = 128, 6, 48
+        alpha = np.zeros(n)
+        support = rng.choice(n, k, replace=False)
+        alpha[support] = rng.standard_normal(k) * 4 + np.sign(
+            rng.standard_normal(k)
+        )
+        a = gaussian_sensing_matrix(m, n, rng)
+        result = omp(a, a @ alpha, sparsity=k)
+        assert np.allclose(result.coefficients, alpha, atol=1e-5)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_recovery_across_sparsities(self, k):
+        phi, alpha, x, loc, _ = _sparse_problem(64, k, 40, seed=100 + k)
+        result = omp(phi[loc, :], x[loc], sparsity=k)
+        rel = np.linalg.norm(result.coefficients - alpha) / np.linalg.norm(alpha)
+        assert rel < 1e-5
+
+
+class TestBehaviour:
+    def test_residual_history_non_increasing(self):
+        phi, _, x, loc, _ = _sparse_problem(64, 8, 30, seed=2)
+        noisy = x[loc] + np.random.default_rng(3).standard_normal(30) * 0.1
+        result = omp(phi[loc, :], noisy, sparsity=10)
+        history = result.residual_history
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(history, history[1:])
+        )
+
+    def test_early_stop_on_tolerance(self):
+        phi, alpha, x, loc, _ = _sparse_problem(64, 2, 30, seed=4)
+        result = omp(phi[loc, :], x[loc], sparsity=20, tol=1e-8)
+        assert result.iterations <= 4  # stops far before 20
+
+    def test_support_has_no_duplicates(self):
+        phi, _, x, loc, _ = _sparse_problem(64, 6, 30, seed=5)
+        result = omp(phi[loc, :], x[loc], sparsity=15)
+        assert len(set(result.support.tolist())) == result.support.size
+
+    def test_zero_signal(self):
+        phi = dct_basis(32)
+        result = omp(phi[:10, :], np.zeros(10), sparsity=3)
+        assert np.allclose(result.coefficients, 0.0)
+        assert result.residual_norm == pytest.approx(0.0)
+
+    def test_gls_covariance_path(self):
+        """With one garbage-noise measurement, the GLS refit stays close
+        to the truth while OLS drifts."""
+        rng = np.random.default_rng(6)
+        phi, alpha, x, loc, _ = _sparse_problem(64, 3, 20, seed=6)
+        noise = np.zeros(20)
+        noise[0] = 25.0  # a broken sensor
+        stds = np.full(20, 1e-3)
+        stds[0] = 50.0
+        y = x[loc] + noise
+        clean = omp(phi[loc, :], y, sparsity=3, covariance=np.diag(stds**2))
+        dirty = omp(phi[loc, :], y, sparsity=3)
+        err_gls = np.linalg.norm(clean.coefficients - alpha)
+        err_ols = np.linalg.norm(dirty.coefficients - alpha)
+        assert err_gls < err_ols
+
+
+class TestValidation:
+    def test_bad_sparsity(self):
+        phi = dct_basis(16)
+        with pytest.raises(ValueError):
+            omp(phi[:8, :], np.ones(8), sparsity=0)
+        with pytest.raises(ValueError):
+            omp(phi[:8, :], np.ones(8), sparsity=9)  # > M
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            omp(np.ones((4, 8)), np.ones(5), sparsity=2)
+
+    def test_non_2d_dictionary(self):
+        with pytest.raises(ValueError):
+            omp(np.ones(8), np.ones(8), sparsity=2)

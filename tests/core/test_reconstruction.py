@@ -1,0 +1,102 @@
+"""Tests for the high-level reconstruct() dispatch API."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.core.reconstruction import SOLVERS, reconstruct
+from repro.core.sampling import random_locations
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(0)
+    n = 64
+    phi = dct_basis(n)
+    alpha = np.zeros(n)
+    support = rng.choice(12, size=4, replace=False)  # low-frequency
+    alpha[support] = rng.uniform(1.0, 3.0, 4) * rng.choice([-1, 1], 4)
+    x = phi @ alpha
+    loc = random_locations(n, 32, rng)
+    return phi, x, loc
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("solver", ["chs", "omp", "cosamp", "iht", "l1"])
+    def test_sparse_solvers_recover(self, problem, solver):
+        phi, x, loc = problem
+        result = reconstruct(x[loc], loc, phi, solver=solver, sparsity=6)
+        assert result.relative_error(x) < 1e-4
+        assert result.solver == solver
+        assert result.m == 32 and result.n == 64
+
+    def test_l1_noisy(self, problem):
+        phi, x, loc = problem
+        rng = np.random.default_rng(1)
+        y = x[loc] + rng.uniform(-0.02, 0.02, loc.size)
+        result = reconstruct(
+            y, loc, phi, solver="l1-noisy", noise_budget=0.03
+        )
+        assert result.relative_error(x) < 0.05
+
+    def test_ols_low_frequency_model(self, problem):
+        phi, x, loc = problem
+        # The signal lives in the first 12 DCT columns, so OLS on the
+        # leading K=16 columns is exact.
+        result = reconstruct(x[loc], loc, phi, solver="ols", sparsity=16)
+        assert result.relative_error(x) < 1e-8
+
+    def test_gls_requires_covariance(self, problem):
+        phi, x, loc = problem
+        with pytest.raises(ValueError, match="covariance"):
+            reconstruct(x[loc], loc, phi, solver="gls", sparsity=8)
+
+    def test_gls_with_covariance(self, problem):
+        phi, x, loc = problem
+        cov = np.eye(loc.size) * 0.01
+        result = reconstruct(
+            x[loc], loc, phi, solver="gls", sparsity=16, covariance=cov
+        )
+        assert result.relative_error(x) < 1e-6
+
+    def test_unknown_solver(self, problem):
+        phi, x, loc = problem
+        with pytest.raises(ValueError, match="unknown solver"):
+            reconstruct(x[loc], loc, phi, solver="magic")
+
+    def test_solver_list_is_complete(self):
+        assert set(SOLVERS) == {
+            "chs", "omp", "cosamp", "iht", "l1", "l1-noisy", "ols", "gls",
+        }
+
+
+class TestResultRecord:
+    def test_compression_ratio(self, problem):
+        phi, x, loc = problem
+        result = reconstruct(x[loc], loc, phi, solver="omp", sparsity=4)
+        assert result.compression_ratio == pytest.approx(0.5)
+
+    def test_metrics_accessors(self, problem):
+        phi, x, loc = problem
+        result = reconstruct(x[loc], loc, phi, solver="omp", sparsity=4)
+        assert result.nmse(x) == pytest.approx(result.relative_error(x) ** 2)
+        assert result.snr_db(x) > 40
+
+    def test_default_sparsity_is_half_m(self, problem):
+        phi, x, loc = problem
+        result = reconstruct(x[loc], loc, phi, solver="omp")
+        assert result.support.size <= loc.size // 2
+
+
+class TestValidation:
+    def test_rectangular_phi_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct(np.ones(2), np.array([0, 1]), np.ones((4, 3)))
+
+    def test_measurement_count_mismatch(self):
+        with pytest.raises(ValueError):
+            reconstruct(np.ones(3), np.array([0, 1]), np.eye(8))
+
+    def test_empty_measurements(self):
+        with pytest.raises(ValueError):
+            reconstruct(np.array([]), np.array([], dtype=int), np.eye(8))

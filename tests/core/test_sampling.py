@@ -1,0 +1,155 @@
+"""Tests for repro.core.sampling: location selection and sensing matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    MeasurementPlan,
+    bernoulli_sensing_matrix,
+    gaussian_sensing_matrix,
+    grid_locations,
+    random_locations,
+    selection_matrix,
+    subsample_rows,
+    weighted_locations,
+)
+
+
+class TestRandomLocations:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_sorted_in_range(self, n, data):
+        m = data.draw(st.integers(min_value=1, max_value=n))
+        loc = random_locations(n, m, rng=7)
+        assert loc.size == m
+        assert np.all(np.diff(loc) > 0)  # sorted & distinct
+        assert loc.min() >= 0 and loc.max() < n
+
+    def test_reproducible_by_seed(self):
+        assert np.array_equal(
+            random_locations(100, 20, 5), random_locations(100, 20, 5)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_locations(10, 0)
+        with pytest.raises(ValueError):
+            random_locations(10, 11)
+        with pytest.raises(ValueError):
+            random_locations(0, 1)
+
+
+class TestGridLocations:
+    def test_even_spacing_endpoints(self):
+        loc = grid_locations(100, 5)
+        assert loc[0] == 0 and loc[-1] == 99
+
+    def test_full_selection(self):
+        assert np.array_equal(grid_locations(7, 7), np.arange(7))
+
+    def test_deterministic(self):
+        assert np.array_equal(grid_locations(64, 9), grid_locations(64, 9))
+
+
+class TestWeightedLocations:
+    def test_prefers_heavy_cells(self):
+        weights = np.zeros(100)
+        weights[:10] = 100.0
+        weights[10:] = 0.01
+        hits = np.zeros(100)
+        for seed in range(50):
+            loc = weighted_locations(weights, 5, rng=seed)
+            hits[loc] += 1
+        assert hits[:10].sum() > hits[10:].sum()
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        loc = weighted_locations(np.zeros(20), 5, rng=1)
+        assert loc.size == 5
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_locations(np.array([1.0, -1.0]), 1)
+
+
+class TestSubsampleAndSelection:
+    def test_subsample_rows(self):
+        phi = np.arange(20).reshape(5, 4).astype(float)
+        rows = subsample_rows(phi, np.array([0, 3]))
+        assert np.array_equal(rows, phi[[0, 3]])
+
+    def test_subsample_out_of_range(self):
+        with pytest.raises(IndexError):
+            subsample_rows(np.eye(4), np.array([4]))
+
+    def test_selection_matrix_selects(self):
+        x = np.arange(6, dtype=float)
+        s = selection_matrix(6, np.array([1, 4]))
+        assert np.array_equal(s @ x, np.array([1.0, 4.0]))
+
+
+class TestDenseSensingMatrices:
+    def test_gaussian_shape_and_scale(self):
+        a = gaussian_sensing_matrix(30, 100, rng=0)
+        assert a.shape == (30, 100)
+        # Columns should have ~unit expected norm.
+        norms = np.linalg.norm(a, axis=0)
+        assert 0.5 < norms.mean() < 1.5
+
+    def test_bernoulli_entries(self):
+        a = bernoulli_sensing_matrix(10, 20, rng=0)
+        expected = 1.0 / np.sqrt(10)
+        assert np.all(np.isclose(np.abs(a), expected))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            gaussian_sensing_matrix(0, 10)
+        with pytest.raises(ValueError):
+            bernoulli_sensing_matrix(11, 10)
+
+
+class TestMeasurementPlan:
+    def test_random_plan_properties(self):
+        plan = MeasurementPlan.random(100, 25, seed=3)
+        assert plan.m == 25
+        assert plan.n == 100
+        assert plan.compression_ratio == 0.25
+
+    def test_sorted_on_construction(self):
+        plan = MeasurementPlan(n=10, locations=np.array([7, 2, 5]))
+        assert np.array_equal(plan.locations, [2, 5, 7])
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementPlan(n=10, locations=np.array([1, 1, 2]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementPlan(n=5, locations=np.array([5]))
+        with pytest.raises(ValueError):
+            MeasurementPlan(n=5, locations=np.array([-1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementPlan(n=5, locations=np.array([], dtype=int))
+
+    def test_sensing_matrix_shape(self):
+        plan = MeasurementPlan.random(16, 4, seed=0)
+        phi = np.eye(16)
+        mat = plan.sensing_matrix(phi)
+        assert mat.shape == (4, 16)
+
+    def test_sensing_matrix_size_mismatch(self):
+        plan = MeasurementPlan.random(16, 4, seed=0)
+        with pytest.raises(ValueError):
+            plan.sensing_matrix(np.eye(8))
+
+    def test_weighted_plan(self):
+        weights = np.zeros(50)
+        weights[40:] = 1.0
+        plan = MeasurementPlan.weighted(weights, 5, seed=2)
+        assert np.all(plan.locations >= 40)

@@ -1,0 +1,99 @@
+"""Tests for spatial/temporal coverage metrics ([28]-style)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.coverage import (
+    coverage_report,
+    largest_gap_radius,
+    spatial_coverage,
+    temporal_coverage,
+)
+
+
+class TestSpatialCoverage:
+    def test_strict_fraction(self):
+        assert spatial_coverage(np.array([0, 1, 2]), n=12) == 0.25
+
+    def test_duplicates_counted_once(self):
+        assert spatial_coverage(np.array([3, 3, 3]), n=12) == 1 / 12
+
+    def test_radius_one_expands_coverage(self):
+        # One sample in the middle of a 4x4 zone covers its 3x3 patch.
+        n, height = 16, 4
+        center = 1 * 4 + 1  # (i=1, j=1)
+        strict = spatial_coverage(np.array([center]), n)
+        relaxed = spatial_coverage(
+            np.array([center]), n, cell_radius=1, height=height
+        )
+        assert strict == 1 / 16
+        assert relaxed == 9 / 16
+
+    def test_full_coverage(self):
+        assert spatial_coverage(np.arange(16), 16) == 1.0
+
+    def test_radius_needs_height(self):
+        with pytest.raises(ValueError):
+            spatial_coverage(np.array([0]), 16, cell_radius=1)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            spatial_coverage(np.array([16]), 16)
+
+
+class TestLargestGap:
+    def test_sample_everywhere_is_zero(self):
+        assert largest_gap_radius(np.arange(16), 16, height=4) == 0.0
+
+    def test_corner_sample_gap(self):
+        # Only cell (0,0) sampled in a 4x4 zone -> farthest cell (3,3)
+        # is Chebyshev distance 3 away.
+        assert largest_gap_radius(np.array([0]), 16, height=4) == 3.0
+
+    def test_no_samples(self):
+        with pytest.raises(ValueError):
+            largest_gap_radius(np.array([], dtype=int), 16, height=4)
+
+
+class TestTemporalCoverage:
+    def test_dense_sampling_full_coverage(self):
+        times = np.arange(0, 100, 5.0)
+        assert temporal_coverage(times, (0.0, 100.0), max_staleness=10.0) == 1.0
+
+    def test_gap_reduces_coverage(self):
+        times = np.array([0.0, 50.0])
+        fraction = temporal_coverage(times, (0.0, 100.0), max_staleness=10.0)
+        assert fraction == pytest.approx(0.2)
+
+    def test_overlapping_intervals_not_double_counted(self):
+        times = np.array([0.0, 1.0, 2.0])
+        fraction = temporal_coverage(times, (0.0, 10.0), max_staleness=5.0)
+        assert fraction == pytest.approx(0.7)
+
+    def test_empty(self):
+        assert temporal_coverage(np.array([]), (0.0, 10.0), 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            temporal_coverage(np.array([0.0]), (5.0, 5.0), 1.0)
+        with pytest.raises(ValueError):
+            temporal_coverage(np.array([0.0]), (0.0, 5.0), 0.0)
+
+
+class TestReport:
+    def test_combined_report(self):
+        report = coverage_report(
+            locations=np.array([0, 5, 10, 15]),
+            timestamps=np.arange(0, 60, 10.0),
+            n=16,
+            height=4,
+            window=(0.0, 60.0),
+            max_staleness=15.0,
+        )
+        assert 0.0 < report.spatial_fraction <= 1.0
+        assert report.spatial_fraction_r1 >= report.spatial_fraction
+        assert report.largest_gap >= 0.0
+        assert report.temporal_fraction == 1.0
+        assert report.quality == min(
+            report.spatial_fraction_r1, report.temporal_fraction
+        )

@@ -1,0 +1,128 @@
+"""Tests for SpatialField and the eq.-(1) vectorisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields.field import SpatialField, devectorize, vectorize
+
+
+class TestVectorize:
+    def test_column_stacking_order(self):
+        """Eq. (1): columns of the map occupy contiguous runs."""
+        grid = np.array([[1.0, 3.0], [2.0, 4.0]])  # H=2, W=2
+        assert np.array_equal(vectorize(grid), [1.0, 2.0, 3.0, 4.0])
+
+    @given(
+        w=st.integers(min_value=1, max_value=12),
+        h=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, w, h):
+        rng = np.random.default_rng(w * 100 + h)
+        grid = rng.standard_normal((h, w))
+        assert np.array_equal(devectorize(vectorize(grid), w, h), grid)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            vectorize(np.ones(4))
+
+    def test_devectorize_length_mismatch(self):
+        with pytest.raises(ValueError):
+            devectorize(np.ones(5), 2, 2)
+
+    def test_devectorize_bad_dims(self):
+        with pytest.raises(ValueError):
+            devectorize(np.ones(4), 0, 4)
+
+
+class TestSpatialField:
+    def test_dimensions(self):
+        f = SpatialField(grid=np.zeros((3, 5)))
+        assert f.width == 5 and f.height == 3 and f.n == 15
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SpatialField(grid=np.zeros((0, 3)))
+
+    def test_from_vector_roundtrip(self):
+        rng = np.random.default_rng(0)
+        f = SpatialField(grid=rng.standard_normal((4, 6)))
+        g = SpatialField.from_vector(f.vector(), f.width, f.height)
+        assert np.array_equal(f.grid, g.grid)
+
+    @given(
+        i=st.integers(min_value=0, max_value=5),
+        j=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_index_coords_roundtrip(self, i, j):
+        f = SpatialField(grid=np.zeros((4, 6)))
+        k = f.index_of(i, j)
+        assert f.coords_of(k) == (i, j)
+
+    def test_value_at_matches_grid(self):
+        rng = np.random.default_rng(1)
+        f = SpatialField(grid=rng.standard_normal((4, 6)))
+        for k in range(f.n):
+            i, j = f.coords_of(k)
+            assert f.value_at(k) == f.grid[j, i]
+            assert f.vector()[k] == f.value_at(k)
+
+    def test_index_out_of_range(self):
+        f = SpatialField(grid=np.zeros((2, 2)))
+        with pytest.raises(IndexError):
+            f.index_of(2, 0)
+        with pytest.raises(IndexError):
+            f.coords_of(4)
+        with pytest.raises(IndexError):
+            f.value_at(-1)
+
+    def test_sample_noiseless(self):
+        f = SpatialField(grid=np.arange(6, dtype=float).reshape(2, 3))
+        loc = np.array([0, 3, 5])
+        assert np.array_equal(f.sample(loc), f.vector()[loc])
+
+    def test_sample_noise_statistics(self):
+        f = SpatialField(grid=np.zeros((10, 10)))
+        samples = f.sample(np.arange(100), noise_std=2.0, rng=0)
+        assert 1.5 < samples.std() < 2.5
+
+    def test_sample_heterogeneous_noise(self):
+        f = SpatialField(grid=np.zeros((1, 2)))
+        stds = np.array([0.0, 10.0])
+        draws = np.array(
+            [f.sample(np.array([0, 1]), stds, rng=s) for s in range(50)]
+        )
+        assert np.all(draws[:, 0] == 0.0)
+        assert draws[:, 1].std() > 5.0
+
+    def test_sample_negative_noise_rejected(self):
+        f = SpatialField(grid=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            f.sample(np.array([0]), noise_std=-1.0)
+
+    def test_subfield_extracts_rectangle(self):
+        grid = np.arange(24, dtype=float).reshape(4, 6)
+        f = SpatialField(grid=grid)
+        sub = f.subfield(2, 1, 3, 2)
+        assert np.array_equal(sub.grid, grid[1:3, 2:5])
+
+    def test_subfield_out_of_bounds(self):
+        f = SpatialField(grid=np.zeros((4, 6)))
+        with pytest.raises(ValueError):
+            f.subfield(4, 0, 3, 2)
+        with pytest.raises(ValueError):
+            f.subfield(0, 0, 0, 2)
+
+    def test_rmse_to(self):
+        a = SpatialField(grid=np.zeros((2, 2)))
+        b = SpatialField(grid=np.full((2, 2), 3.0))
+        assert a.rmse_to(b) == pytest.approx(3.0)
+
+    def test_rmse_shape_mismatch(self):
+        a = SpatialField(grid=np.zeros((2, 2)))
+        b = SpatialField(grid=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            a.rmse_to(b)

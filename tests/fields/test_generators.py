@@ -1,0 +1,132 @@
+"""Tests for the synthetic field generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.core.sparsity import energy_sparsity
+from repro.fields.generators import (
+    fire_intensity_field,
+    gaussian_plume_field,
+    indicator_field,
+    smooth_field,
+    sparse_dct_field,
+    urban_temperature_field,
+)
+
+
+class TestSmoothField:
+    def test_shape_and_offset(self):
+        f = smooth_field(16, 8, offset=20.0, amplitude=5.0, rng=0)
+        assert (f.width, f.height) == (16, 8)
+        assert 15.0 <= f.grid.mean() <= 25.0
+
+    def test_deterministic_by_seed(self):
+        a = smooth_field(8, 8, rng=5)
+        b = smooth_field(8, 8, rng=5)
+        assert np.array_equal(a.grid, b.grid)
+
+    def test_smaller_cutoff_is_sparser(self):
+        phi = dct_basis(16 * 16)
+        smoother = smooth_field(16, 16, cutoff=0.08, rng=1)
+        rougher = smooth_field(16, 16, cutoff=0.5, rng=1)
+        k_smooth = energy_sparsity(phi.T @ (smoother.vector() - smoother.vector().mean()), 0.99)
+        k_rough = energy_sparsity(phi.T @ (rougher.vector() - rougher.vector().mean()), 0.99)
+        assert k_smooth < k_rough
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            smooth_field(8, 8, cutoff=0.0)
+
+
+class TestPlumeField:
+    def test_nonnegative_above_background(self):
+        f = gaussian_plume_field(20, 20, background=1.0, rng=2)
+        assert np.all(f.grid >= 1.0 - 1e-12)
+
+    def test_peak_scales_with_intensity(self):
+        low = gaussian_plume_field(20, 20, max_intensity=10.0, rng=3)
+        high = gaussian_plume_field(20, 20, max_intensity=1000.0, rng=3)
+        assert high.grid.max() > low.grid.max() * 10
+
+    def test_zero_sources_is_flat(self):
+        f = gaussian_plume_field(10, 10, n_sources=0, background=5.0, rng=0)
+        assert np.allclose(f.grid, 5.0)
+
+    def test_negative_sources_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_plume_field(10, 10, n_sources=-1)
+
+
+class TestSparseDCTField:
+    def test_exact_sparsity(self):
+        field, alpha = sparse_dct_field(8, 8, sparsity=5, rng=4)
+        assert np.count_nonzero(alpha) == 5
+        phi = dct_basis(64)
+        assert np.allclose(field.vector(), phi @ alpha, atol=1e-10)
+
+    def test_low_frequency_support(self):
+        _, alpha = sparse_dct_field(
+            8, 8, sparsity=4, low_frequency_fraction=0.25, rng=5
+        )
+        assert np.flatnonzero(alpha).max() < 16
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            sparse_dct_field(4, 4, sparsity=0)
+        with pytest.raises(ValueError):
+            sparse_dct_field(4, 4, sparsity=17)
+
+
+class TestIndicatorField:
+    def test_binary_values(self):
+        f = indicator_field(20, 20, rng=6)
+        assert set(np.unique(f.grid).tolist()) <= {0.0, 1.0}
+
+    def test_zero_regions_is_all_outdoor(self):
+        f = indicator_field(10, 10, n_regions=0, rng=0)
+        assert np.all(f.grid == 0.0)
+
+    def test_regions_create_indoor_cells(self):
+        f = indicator_field(20, 20, n_regions=6, rng=7)
+        assert f.grid.sum() > 0
+
+    def test_invalid_region_size(self):
+        with pytest.raises(ValueError):
+            indicator_field(10, 10, region_size=(5, 3))
+
+
+class TestUrbanTemperature:
+    def test_gradient_direction(self):
+        f = urban_temperature_field(
+            32, 8, gradient=5.0, n_heat_islands=0, rng=0
+        )
+        assert f.grid[:, -1].mean() > f.grid[:, 0].mean() + 3.0
+
+    def test_heat_islands_raise_peak(self):
+        flat = urban_temperature_field(24, 24, n_heat_islands=0, rng=8)
+        bumpy = urban_temperature_field(
+            24, 24, n_heat_islands=3, island_intensity=10.0, rng=8
+        )
+        assert bumpy.grid.max() > flat.grid.max() + 3.0
+
+
+class TestFireField:
+    def test_front_separates_hot_and_cold(self):
+        f = fire_intensity_field(
+            40, 10, front_position=0.5, hotspots=0, rng=9
+        )
+        left = f.grid[:, :10].mean()  # behind the front: burning
+        right = f.grid[:, 30:].mean()  # ahead: near ambient
+        assert left > 50 * max(right, 1e-9)
+
+    def test_front_position_moves_front(self):
+        early = fire_intensity_field(40, 10, front_position=0.2, hotspots=0, rng=0)
+        late = fire_intensity_field(40, 10, front_position=0.8, hotspots=0, rng=0)
+        assert late.grid.sum() > early.grid.sum()  # more area burning
+
+    def test_invalid_front(self):
+        with pytest.raises(ValueError):
+            fire_intensity_field(10, 10, front_position=1.5)
+        with pytest.raises(ValueError):
+            fire_intensity_field(10, 10, front_width=0.0)

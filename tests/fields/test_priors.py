@@ -1,0 +1,108 @@
+"""Tests for prior-driven basis learning from field history."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.core.reconstruction import reconstruct
+from repro.core.sampling import random_locations
+from repro.fields.field import SpatialField
+from repro.fields.generators import smooth_field
+from repro.fields.priors import (
+    build_zone_prior,
+    estimate_prior_sparsity,
+    learn_prior_basis,
+)
+from repro.fields.temporal import FieldTrace, ar1_evolution, evolve_field
+
+
+def _low_rank_trace(t=20, w=8, h=8, rank=3, seed=0):
+    """Fields drawn from a rank-3 process, as one zone's history."""
+    rng = np.random.default_rng(seed)
+    factors = rng.standard_normal((rank, w * h))
+    trace = FieldTrace()
+    for step in range(t):
+        weights = rng.standard_normal(rank) * np.array([5.0, 2.0, 1.0])[:rank]
+        x = weights @ factors + 20.0
+        trace.append(SpatialField.from_vector(x, w, h), float(step))
+    return trace
+
+
+class TestLearnPriorBasis:
+    def test_orthogonal(self):
+        phi = learn_prior_basis(_low_rank_trace())
+        assert phi.shape == (64, 64)
+        assert np.allclose(phi.T @ phi, np.eye(64), atol=1e-8)
+
+    def test_needs_two_snapshots(self):
+        trace = FieldTrace()
+        trace.append(SpatialField(grid=np.zeros((2, 2))), 0.0)
+        with pytest.raises(ValueError):
+            learn_prior_basis(trace)
+
+
+class TestEstimatePriorSparsity:
+    def test_low_rank_process_is_low(self):
+        trace = _low_rank_trace(rank=3)
+        basis = learn_prior_basis(trace)
+        k = estimate_prior_sparsity(trace, basis=basis)
+        assert k <= 3
+
+    def test_defaults_to_dct(self):
+        initial = smooth_field(8, 8, cutoff=0.2, rng=1)
+        trace = evolve_field(
+            initial, ar1_evolution(rho=0.95, innovation_std=0.05),
+            steps=10, rng=2,
+        )
+        k = estimate_prior_sparsity(trace)
+        assert 1 <= k <= 64
+
+    def test_empty_trace(self):
+        with pytest.raises(ValueError):
+            estimate_prior_sparsity(FieldTrace())
+
+    def test_basis_shape_check(self):
+        trace = _low_rank_trace()
+        with pytest.raises(ValueError):
+            estimate_prior_sparsity(trace, basis=np.eye(10))
+
+
+class TestZonePrior:
+    def test_center_uncenter_roundtrip(self):
+        prior = build_zone_prior(_low_rank_trace())
+        x = np.random.default_rng(3).standard_normal(64)
+        loc = np.arange(0, 64, 4)
+        centered = prior.center(x[loc], loc)
+        assert np.allclose(
+            centered + prior.mean_vector[loc], x[loc], atol=1e-12
+        )
+        assert np.allclose(
+            prior.uncenter(x) - prior.mean_vector, x, atol=1e-12
+        )
+
+    def test_prior_basis_beats_dct_on_process_fields(self):
+        """The headline claim: a basis learned from zone history needs
+        fewer measurements than generic DCT for the same accuracy."""
+        trace = _low_rank_trace(t=30, seed=4)
+        prior = build_zone_prior(trace)
+        # A fresh field from the same process:
+        rng = np.random.default_rng(99)
+        factors_trace = trace.matrix() - trace.matrix().mean(axis=0)
+        # build new sample inside the same subspace:
+        combo = rng.standard_normal(trace.t)
+        x = trace.matrix().mean(axis=0) + combo @ factors_trace / np.sqrt(trace.t)
+        m = 12
+        loc = random_locations(64, m, rng)
+        centered = x[loc] - prior.mean_vector[loc]
+        with_prior = reconstruct(
+            centered, loc, prior.basis, solver="omp",
+            sparsity=max(prior.typical_sparsity, 3),
+        )
+        err_prior = np.linalg.norm(
+            prior.uncenter(with_prior.x_hat) - x
+        ) / np.linalg.norm(x)
+        generic = reconstruct(
+            x[loc], loc, dct_basis(64), solver="omp", sparsity=6
+        )
+        err_dct = np.linalg.norm(generic.x_hat - x) / np.linalg.norm(x)
+        assert err_prior < err_dct

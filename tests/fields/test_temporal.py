@@ -1,0 +1,137 @@
+"""Tests for field traces and evolution models."""
+
+import numpy as np
+import pytest
+
+from repro.fields.field import SpatialField
+from repro.fields.generators import gaussian_plume_field, smooth_field
+from repro.fields.temporal import (
+    FieldTrace,
+    ar1_evolution,
+    drift_plume,
+    evolve_field,
+)
+
+
+def _field(value=0.0, w=6, h=4):
+    return SpatialField(grid=np.full((h, w), float(value)))
+
+
+class TestFieldTrace:
+    def test_append_and_matrix(self):
+        trace = FieldTrace()
+        trace.append(_field(1.0), 0.0)
+        trace.append(_field(2.0), 1.0)
+        matrix = trace.matrix()
+        assert matrix.shape == (2, 24)
+        assert np.all(matrix[0] == 1.0) and np.all(matrix[1] == 2.0)
+
+    def test_timestamps_must_increase(self):
+        trace = FieldTrace()
+        trace.append(_field(), 5.0)
+        with pytest.raises(ValueError):
+            trace.append(_field(), 5.0)
+        with pytest.raises(ValueError):
+            trace.append(_field(), 4.0)
+
+    def test_shape_consistency_enforced(self):
+        trace = FieldTrace()
+        trace.append(_field(w=6, h=4), 0.0)
+        with pytest.raises(ValueError):
+            trace.append(_field(w=4, h=6), 1.0)
+
+    def test_mismatched_init_lists(self):
+        with pytest.raises(ValueError):
+            FieldTrace(snapshots=[_field()], timestamps=[])
+
+    def test_iteration_order(self):
+        trace = FieldTrace()
+        for t in (0.0, 1.0, 2.0):
+            trace.append(_field(t), t)
+        times = [t for t, _ in trace]
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_mean_field(self):
+        trace = FieldTrace()
+        trace.append(_field(0.0), 0.0)
+        trace.append(_field(4.0), 1.0)
+        assert np.allclose(trace.mean_field().grid, 2.0)
+
+    def test_empty_trace_errors(self):
+        trace = FieldTrace()
+        with pytest.raises(ValueError):
+            trace.matrix()
+        with pytest.raises(ValueError):
+            trace.mean_field()
+
+
+class TestEvolveField:
+    def test_records_initial_plus_steps(self):
+        initial = smooth_field(8, 8, rng=0)
+        trace = evolve_field(initial, ar1_evolution(), steps=5, rng=1)
+        assert len(trace) == 6
+        assert trace.timestamps == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert trace.at(0) is initial
+
+    def test_invalid_args(self):
+        initial = _field()
+        with pytest.raises(ValueError):
+            evolve_field(initial, ar1_evolution(), steps=-1)
+        with pytest.raises(ValueError):
+            evolve_field(initial, ar1_evolution(), steps=2, dt=0.0)
+
+
+class TestAR1Evolution:
+    def test_preserves_mean_roughly(self):
+        initial = _field(10.0)
+        trace = evolve_field(
+            initial, ar1_evolution(rho=0.9, innovation_std=0.1), steps=20, rng=2
+        )
+        assert abs(trace.at(-1).grid.mean() - 10.0) < 1.0
+
+    def test_zero_innovation_contracts_to_mean(self):
+        rng = np.random.default_rng(3)
+        initial = SpatialField(grid=rng.standard_normal((5, 5)) * 10)
+        step = ar1_evolution(rho=0.5, innovation_std=0.0)
+        trace = evolve_field(initial, step, steps=30, rng=4)
+        final = trace.at(-1).grid
+        assert final.std() < initial.grid.std() * 0.01
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ar1_evolution(rho=1.5)
+        with pytest.raises(ValueError):
+            ar1_evolution(innovation_std=-0.1)
+
+
+class TestDriftPlume:
+    def test_total_mass_decays(self):
+        initial = gaussian_plume_field(20, 20, rng=5)
+        step = drift_plume(velocity=(1.0, 0.0), decay=0.9)
+        trace = evolve_field(initial, step, steps=5, rng=6)
+        masses = [snap.grid.sum() for _, snap in trace]
+        assert all(b < a for a, b in zip(masses, masses[1:]))
+
+    def test_no_decay_preserves_mass(self):
+        initial = gaussian_plume_field(16, 16, rng=7)
+        step = drift_plume(velocity=(0.5, 0.5), decay=1.0)
+        trace = evolve_field(initial, step, steps=3, rng=8)
+        assert trace.at(-1).grid.sum() == pytest.approx(
+            initial.grid.sum(), rel=1e-6
+        )
+
+    def test_advection_moves_centroid(self):
+        grid = np.zeros((16, 16))
+        grid[8, 4] = 100.0
+        initial = SpatialField(grid=grid)
+        step = drift_plume(velocity=(3.0, 0.0), decay=1.0)
+        trace = evolve_field(initial, step, steps=1, rng=0)
+        moved = trace.at(-1).grid
+        xs = np.arange(16)
+        centroid_before = (grid.sum(axis=0) @ xs) / grid.sum()
+        centroid_after = (moved.sum(axis=0) @ xs) / moved.sum()
+        assert centroid_after > centroid_before + 2.0
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            drift_plume(decay=0.0)

@@ -1,0 +1,165 @@
+"""Tests for zone partitioning and measurement allocation (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields.field import SpatialField
+from repro.fields.generators import urban_temperature_field
+from repro.fields.zones import Zone, ZoneGrid, allocate_measurements
+
+
+class TestZone:
+    def test_n(self):
+        assert Zone(0, 0, 0, 4, 3).n == 12
+
+    def test_local_to_global_identity_when_origin_zero(self):
+        zone = Zone(0, 0, 0, 4, 3)
+        for k in range(zone.n):
+            assert zone.local_to_global(k, parent_height=3) == k
+
+    def test_local_to_global_offset(self):
+        # Parent 8 wide x 4 high; zone at x0=4, y0=2, 2x2.
+        zone = Zone(1, 4, 2, 2, 2)
+        # local k=0 -> (i=4, j=2) -> global 4*4+2 = 18
+        assert zone.local_to_global(0, parent_height=4) == 18
+
+    def test_local_out_of_range(self):
+        with pytest.raises(IndexError):
+            Zone(0, 0, 0, 2, 2).local_to_global(4, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Zone(0, 0, 0, 0, 2)
+        with pytest.raises(ValueError):
+            Zone(0, -1, 0, 2, 2)
+        with pytest.raises(ValueError):
+            Zone(0, 0, 0, 2, 2, criticality=-1.0)
+
+
+class TestZoneGrid:
+    def test_partition_is_exact(self):
+        zg = ZoneGrid(12, 8, 3, 2)
+        assert len(zg) == 6
+        covered = set()
+        for zone in zg:
+            for i in range(zone.x0, zone.x0 + zone.width):
+                for j in range(zone.y0, zone.y0 + zone.height):
+                    assert (i, j) not in covered
+                    covered.add((i, j))
+        assert len(covered) == 96
+
+    def test_rejects_uneven_split(self):
+        with pytest.raises(ValueError):
+            ZoneGrid(10, 8, 3, 2)
+
+    def test_extract_assemble_roundtrip(self, small_field):
+        zg = ZoneGrid(small_field.width, small_field.height, 4, 2)
+        subs = {z.zone_id: zg.extract(small_field, z) for z in zg}
+        rebuilt = zg.assemble(subs)
+        assert np.array_equal(rebuilt.grid, small_field.grid)
+
+    def test_assemble_missing_zone(self, small_field):
+        zg = ZoneGrid(small_field.width, small_field.height, 2, 2)
+        subs = {z.zone_id: zg.extract(small_field, z) for z in zg}
+        del subs[0]
+        with pytest.raises(ValueError, match="missing"):
+            zg.assemble(subs)
+
+    def test_assemble_wrong_shape(self, small_field):
+        zg = ZoneGrid(small_field.width, small_field.height, 2, 2)
+        subs = {z.zone_id: zg.extract(small_field, z) for z in zg}
+        subs[0] = SpatialField(grid=np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            zg.assemble(subs)
+
+    def test_extract_checks_parent_shape(self):
+        zg = ZoneGrid(8, 8, 2, 2)
+        wrong = SpatialField(grid=np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            zg.extract(wrong, zg.zones[0])
+
+    def test_criticality_matrix(self):
+        crit = np.array([[1.0, 2.0], [3.0, 4.0]])
+        zg = ZoneGrid(8, 8, 2, 2, criticality=crit)
+        assert [z.criticality for z in zg] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_criticality_shape_check(self):
+        with pytest.raises(ValueError):
+            ZoneGrid(8, 8, 2, 2, criticality=np.ones((3, 2)))
+
+    def test_local_sparsities_reflect_structure(self):
+        """Zones containing a heat island need more coefficients."""
+        truth = urban_temperature_field(
+            32, 16, n_heat_islands=0, gradient=0.0, rng=0
+        )
+        # Add one sharp island confined to the left half.
+        xs, ys = np.meshgrid(np.arange(32), np.arange(16))
+        bump = 10.0 * np.exp(-(((xs - 4) ** 2 + (ys - 8) ** 2) / 4.0))
+        truth = SpatialField(grid=truth.grid + bump)
+        zg = ZoneGrid(32, 16, 2, 1)
+        sparsities = zg.local_sparsities(truth)
+        assert sparsities[0] > sparsities[1]
+
+
+class TestAllocateMeasurements:
+    def _grid(self):
+        return ZoneGrid(16, 16, 2, 2)
+
+    def test_sums_to_budget(self):
+        zg = self._grid()
+        sparsities = {0: 2, 1: 8, 2: 4, 3: 16}
+        alloc = allocate_measurements(zg, sparsities, total_budget=100)
+        assert sum(alloc.values()) == 100
+
+    def test_sparser_zones_get_fewer(self):
+        zg = self._grid()
+        sparsities = {0: 1, 1: 30, 2: 1, 3: 30}
+        alloc = allocate_measurements(zg, sparsities, total_budget=80)
+        assert alloc[1] > alloc[0]
+        assert alloc[3] > alloc[2]
+
+    def test_criticality_shifts_allocation(self):
+        crit = np.array([[5.0, 1.0], [1.0, 1.0]])
+        zg = ZoneGrid(16, 16, 2, 2, criticality=crit)
+        sparsities = {i: 8 for i in range(4)}
+        alloc = allocate_measurements(zg, sparsities, total_budget=80)
+        assert alloc[0] > alloc[1]
+
+    def test_respects_min_per_zone(self):
+        zg = self._grid()
+        sparsities = {0: 1, 1: 100, 2: 1, 3: 100}
+        alloc = allocate_measurements(
+            zg, sparsities, total_budget=60, min_per_zone=5
+        )
+        assert all(v >= 5 for v in alloc.values())
+
+    def test_respects_zone_capacity(self):
+        zg = self._grid()  # each zone has 64 cells
+        sparsities = {0: 1000, 1: 1, 2: 1, 3: 1}
+        alloc = allocate_measurements(zg, sparsities, total_budget=120)
+        assert alloc[0] <= 64
+
+    @given(budget=st.integers(min_value=12, max_value=256))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_always_exact_within_feasible_range(self, budget):
+        zg = ZoneGrid(16, 16, 2, 2)
+        sparsities = {0: 3, 1: 9, 2: 5, 3: 20}
+        alloc = allocate_measurements(zg, sparsities, budget)
+        assert sum(alloc.values()) == budget
+        for zone in zg:
+            assert 3 <= alloc[zone.zone_id] <= zone.n
+
+    def test_infeasible_budgets_rejected(self):
+        zg = self._grid()
+        sparsities = {i: 4 for i in range(4)}
+        with pytest.raises(ValueError):
+            allocate_measurements(zg, sparsities, total_budget=4)
+        with pytest.raises(ValueError):
+            allocate_measurements(zg, sparsities, total_budget=1000)
+
+    def test_sparsities_must_cover_zones(self):
+        zg = self._grid()
+        with pytest.raises(ValueError):
+            allocate_measurements(zg, {0: 4}, total_budget=40)

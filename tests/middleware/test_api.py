@@ -1,0 +1,131 @@
+"""Tests for the SenseDroid facade."""
+
+import numpy as np
+import pytest
+
+from repro.fields.generators import urban_temperature_field
+from repro.middleware.api import SenseDroid
+from repro.middleware.config import BrokerConfig, HierarchyConfig
+from repro.middleware.query import Predicate, Query
+from repro.sensors.base import Environment
+
+
+@pytest.fixture
+def system():
+    truth = urban_temperature_field(16, 8, rng=3)
+    env = Environment(fields={"temperature": truth})
+    with SenseDroid(
+        env,
+        hierarchy_config=HierarchyConfig(
+            zones_x=2, zones_y=1, nodes_per_nanocloud=48
+        ),
+        broker_config=BrokerConfig(seed=7),
+        rng=7,
+    ) as s:
+        yield s
+
+
+class TestConstruction:
+    def test_unknown_sensor_field(self):
+        env = Environment(fields={})
+        with pytest.raises(ValueError, match="no field"):
+            SenseDroid(env)
+
+
+class TestSensing:
+    def test_sense_field_and_error(self, system):
+        system.sense_field()  # warm-up round adapts sparsity
+        estimate = system.sense_field()
+        assert system.estimate_error(estimate) < 0.15
+        assert estimate.total_measurements < system.latest_field().n
+
+    def test_adaptive_requires_budget(self, system):
+        with pytest.raises(ValueError):
+            system.sense_field(adaptive=True)
+
+    def test_adaptive_budget_respected(self, system):
+        estimate = system.sense_field(adaptive=True, total_budget=60)
+        assert estimate.total_measurements <= 60
+
+    def test_fixed_budget_split_evenly(self, system):
+        estimate = system.sense_field(total_budget=40)
+        for result in estimate.zone_results.values():
+            assert result.total_measurements <= 20
+
+    def test_rounds_are_logged(self, system):
+        system.sense_field()
+        assert system.store.reading_count() > 0
+
+    def test_round_counter_advances_timestamps(self, system):
+        first = system.sense_field()
+        second = system.sense_field()
+        assert second.timestamp > first.timestamp
+
+
+class TestContexts:
+    def test_context_round_infers_all_nodes(self, system):
+        inferred = system.sense_contexts()
+        assert len(inferred) == system.hierarchy.n_nodes
+        # Everyone is idle by default.
+        accuracy = sum(
+            1 for mode in inferred.values() if mode == "idle"
+        ) / len(inferred)
+        assert accuracy > 0.9
+
+    def test_group_context_rollup(self, system):
+        system.sense_contexts()
+        rollups = system.group_context("activity")
+        assert rollups
+        assert any(g.count > 0 for g in rollups)
+        populated = [g for g in rollups if g.count]
+        assert all(g.consensus == "idle" for g in populated)
+
+    def test_contexts_logged(self, system):
+        system.sense_contexts()
+        assert len(system.store.contexts(kind="activity")) == system.hierarchy.n_nodes
+
+
+class TestQueryAndEnergy:
+    def test_query_logged_readings(self, system):
+        system.sense_field()
+        hits = system.query(
+            Query(predicates=(Predicate("sensor", "==", "temperature"),))
+        )
+        assert hits
+
+    def test_energy_summary_keys(self, system):
+        system.sense_field()
+        summary = system.energy_summary_mj()
+        assert summary["node_energy_mj"] > 0
+        assert summary["radio_energy_mj"] > 0
+        assert summary["messages"] > 0
+
+
+class TestFleetStatus:
+    def test_battery_and_audit_rollup(self, system):
+        system.sense_field()
+        status = system.fleet_status()
+        assert status["nodes"] == system.hierarchy.n_nodes
+        assert 0.0 < status["battery_min"] <= status["battery_mean"] <= 1.0
+        assert status["readings_shared"] > 0
+
+    def test_batteries_drain_over_rounds(self, system):
+        before = system.fleet_status()["battery_mean"]
+        for _ in range(3):
+            system.sense_field()
+            system.sense_contexts()
+        after = system.fleet_status()["battery_mean"]
+        assert after <= before
+
+    def test_withheld_counted(self, system):
+        for lc in system.hierarchy.localclouds.values():
+            for nc in lc.nanoclouds:
+                for node in nc.nodes.values():
+                    node.policy.opt_out()
+                    break  # one objector per NanoCloud
+                break
+            break
+        system.sense_field()
+        system.sense_field()
+        status = system.fleet_status()
+        assert status["readings_withheld"] >= 0.0

@@ -1,0 +1,135 @@
+"""Tests for the incentive mechanisms (Section 5)."""
+
+import pytest
+
+from repro.middleware.incentives import (
+    Bid,
+    Candidate,
+    RecruitmentSelector,
+    ReverseAuction,
+    second_price_auction,
+)
+
+
+class TestSecondPrice:
+    def test_lowest_bid_wins_pays_second(self):
+        result = second_price_auction(
+            [Bid("a", 5.0), Bid("b", 3.0), Bid("c", 8.0)]
+        )
+        assert result.winners == ("b",)
+        assert result.payments["b"] == 5.0
+
+    def test_single_bid(self):
+        result = second_price_auction([Bid("solo", 4.0)])
+        assert result.payments["solo"] == 4.0
+
+    def test_truthfulness(self):
+        """Misreporting cannot improve the winner's utility (Vickrey)."""
+        true_cost = 3.0
+        others = [Bid("b", 5.0), Bid("c", 7.0)]
+        honest = second_price_auction([Bid("a", true_cost)] + others)
+        utility_honest = honest.payments.get("a", 0.0) - (
+            true_cost if "a" in honest.winners else 0.0
+        )
+        for misreport in (1.0, 4.0, 6.0, 10.0):
+            outcome = second_price_auction([Bid("a", misreport)] + others)
+            utility = outcome.payments.get("a", 0.0) - (
+                true_cost if "a" in outcome.winners else 0.0
+            )
+            assert utility <= utility_honest + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            second_price_auction([])
+
+    def test_bid_validation(self):
+        with pytest.raises(ValueError):
+            Bid("", 1.0)
+        with pytest.raises(ValueError):
+            Bid("a", -1.0)
+
+
+class TestReverseAuction:
+    def test_cheapest_k_win(self):
+        auction = ReverseAuction()
+        result = auction.run_round(
+            [Bid("a", 5.0), Bid("b", 1.0), Bid("c", 3.0), Bid("d", 9.0)], k=2
+        )
+        assert set(result.winners) == {"b", "c"}
+        assert result.total_cost == 4.0
+
+    def test_losers_accrue_credit_and_eventually_win(self):
+        auction = ReverseAuction(credit_per_loss=1.0)
+        bids = [Bid("cheap", 2.0), Bid("pricey", 6.0)]
+        rounds_until_win = None
+        for round_no in range(1, 10):
+            result = auction.run_round(bids, k=1)
+            if "pricey" in result.winners:
+                rounds_until_win = round_no
+                break
+        assert rounds_until_win is not None  # VPC prevents starvation
+
+    def test_winner_credit_resets(self):
+        auction = ReverseAuction(credit_per_loss=2.0)
+        auction.run_round([Bid("a", 1.0), Bid("b", 5.0)], k=1)
+        assert auction.credits["b"] == 2.0
+        auction.run_round([Bid("a", 9.0), Bid("b", 5.0)], k=1)
+        assert auction.credits["b"] == 0.0  # b won and reset
+
+    def test_pay_as_bid(self):
+        auction = ReverseAuction()
+        result = auction.run_round([Bid("a", 3.5), Bid("b", 4.0)], k=1)
+        assert result.payments["a"] == 3.5
+
+    def test_duplicate_bidder_rejected(self):
+        auction = ReverseAuction()
+        with pytest.raises(ValueError):
+            auction.run_round([Bid("a", 1.0), Bid("a", 2.0)], k=1)
+
+    def test_k_clamped_to_bids(self):
+        auction = ReverseAuction()
+        result = auction.run_round([Bid("a", 1.0)], k=5)
+        assert result.winners == ("a",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReverseAuction(credit_per_loss=-1.0)
+        with pytest.raises(ValueError):
+            ReverseAuction().run_round([], k=1)
+        with pytest.raises(ValueError):
+            ReverseAuction().run_round([Bid("a", 1.0)], k=0)
+
+
+class TestRecruitment:
+    def _candidates(self):
+        return [
+            Candidate("good-cheap", coverage=0.9, quality=2.0, cost=1.0),
+            Candidate("good-pricey", coverage=0.9, quality=2.0, cost=10.0),
+            Candidate("bad-cheap", coverage=0.1, quality=0.5, cost=1.0),
+        ]
+
+    def test_score_ordering(self):
+        selector = RecruitmentSelector()
+        picked = selector.select(self._candidates(), k=1)
+        assert picked[0].node_id == "good-cheap"
+
+    def test_min_coverage_filter(self):
+        selector = RecruitmentSelector(min_coverage=0.5)
+        picked = selector.select(self._candidates(), k=3)
+        assert all(c.coverage >= 0.5 for c in picked)
+        assert len(picked) == 2
+
+    def test_cost_weight_zero_ignores_cost(self):
+        selector = RecruitmentSelector(cost_weight=0.0)
+        picked = selector.select(self._candidates(), k=2)
+        assert {c.node_id for c in picked} == {"good-cheap", "good-pricey"}
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            Candidate("x", coverage=1.5, quality=1.0, cost=1.0)
+        with pytest.raises(ValueError):
+            Candidate("x", coverage=0.5, quality=-1.0, cost=1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            RecruitmentSelector().select(self._candidates(), k=0)

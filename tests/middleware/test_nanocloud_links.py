@@ -1,0 +1,91 @@
+"""Tests for NanoCloud multi-network link selection (Section 5)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.energy.model import Battery
+from repro.middleware.nanocloud import NanoCloud
+from repro.network.bus import MessageBus
+
+
+class TestAutoLink:
+    def test_links_assigned_by_distance(self):
+        """With a large cell size the zone spans beyond WiFi range, so
+        near nodes use BT, mid-range WiFi, far nodes fall back to LTE."""
+        bus = MessageBus()
+        nc = NanoCloud.build(
+            "nc", bus, 16, 16, n_nodes=200, auto_link=True,
+            cell_size_m=25.0, rng=1,
+        )
+        links = nc.refresh_links()
+        counts = Counter(links.values())
+        assert counts.get("bluetooth", 0) > 0  # close to the broker
+        assert counts.get("wifi", 0) > 0
+        assert counts.get("lte", 0) > 0  # corners beyond 100 m WiFi
+
+    def test_small_zone_prefers_short_range_radios(self):
+        bus = MessageBus()
+        nc = NanoCloud.build(
+            "nc", bus, 8, 8, n_nodes=40, auto_link=True,
+            cell_size_m=2.0, rng=2,
+        )
+        links = nc.refresh_links()
+        assert set(links.values()) <= {"bluetooth", "wifi"}
+
+    def test_endpoint_links_actually_change(self):
+        bus = MessageBus()
+        nc = NanoCloud.build(
+            "nc", bus, 16, 16, n_nodes=50, auto_link=True,
+            cell_size_m=25.0, rng=3,
+        )
+        links = nc.refresh_links()
+        for node_id, name in links.items():
+            assert bus.endpoint(node_id).link.name == name
+
+    def test_movement_changes_link(self):
+        bus = MessageBus()
+        nc = NanoCloud.build(
+            "nc", bus, 16, 16, n_nodes=10, auto_link=True,
+            cell_size_m=25.0, rng=4,
+        )
+        node = next(iter(nc.nodes.values()))
+        bx, by = nc.broker_position()
+        node.state.x, node.state.y = bx, by  # walk to the broker
+        assert nc.refresh_links()[node.node_id] == "bluetooth"
+        node.state.x, node.state.y = bx + 15.9, by  # ~400 m away
+        assert nc.refresh_links()[node.node_id] == "lte"
+
+    def test_draining_battery_prefers_cheap_radio(self):
+        bus = MessageBus()
+        nc = NanoCloud.build(
+            "nc", bus, 16, 16, n_nodes=10, auto_link=True,
+            cell_size_m=1.0, rng=5,
+        )
+        node = next(iter(nc.nodes.values()))
+        bx, by = nc.broker_position()
+        node.state.x, node.state.y = bx + 5.0, by  # BT and WiFi in range
+        node.ledger.battery = Battery(capacity_mj=100.0)
+        node.ledger.battery.drain(95.0)  # nearly empty
+        assert nc.refresh_links()[node.node_id] == "bluetooth"
+
+    def test_requires_selector(self):
+        bus = MessageBus()
+        nc = NanoCloud.build("nc", bus, 8, 8, n_nodes=5, rng=6)
+        with pytest.raises(RuntimeError, match="auto_link"):
+            nc.refresh_links()
+
+    def test_rounds_still_work_with_auto_links(self):
+        from repro.fields.generators import smooth_field
+        from repro.sensors.base import Environment
+
+        truth = smooth_field(8, 8, offset=20.0, rng=0)
+        env = Environment(fields={"temperature": truth})
+        bus = MessageBus()
+        nc = NanoCloud.build(
+            "nc", bus, 8, 8, n_nodes=60, auto_link=True,
+            cell_size_m=25.0, rng=7,
+        )
+        estimate = nc.run_round(env, measurements=24)
+        assert estimate.m <= 24
+        assert bus.stats.messages > 0

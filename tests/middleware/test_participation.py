@@ -1,0 +1,131 @@
+"""Tests for participatory/opportunistic participation models."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.participation import (
+    MixedCrowd,
+    ParticipationModel,
+    opportunistic,
+    participatory,
+)
+
+
+class TestOpportunistic:
+    def test_always_answers_within_duty(self):
+        model = opportunistic(duty_budget=3)
+        rng = np.random.default_rng(0)
+        outcomes = [model.request(rng) for _ in range(5)]
+        assert [o.answered for o in outcomes] == [True] * 3 + [False] * 2
+        assert outcomes[3].reason == "duty-exhausted"
+
+    def test_zero_delay(self):
+        model = opportunistic()
+        assert model.request(np.random.default_rng(1)).delay_s == 0.0
+
+    def test_unlimited_budget(self):
+        model = opportunistic(duty_budget=None)
+        rng = np.random.default_rng(2)
+        assert all(model.request(rng).answered for _ in range(200))
+
+    def test_epoch_reset(self):
+        model = opportunistic(duty_budget=1)
+        rng = np.random.default_rng(3)
+        assert model.request(rng).answered
+        assert not model.request(rng).answered
+        model.reset_epoch()
+        assert model.request(rng).answered
+
+
+class TestParticipatory:
+    def test_acceptance_rate_statistics(self):
+        model = participatory(acceptance_probability=0.3)
+        rng = np.random.default_rng(4)
+        answered = sum(model.request(rng).answered for _ in range(1000))
+        assert 250 < answered < 350
+
+    def test_delays_are_positive_and_humanlike(self):
+        model = participatory(
+            acceptance_probability=1.0, response_delay_s=(20.0, 5.0)
+        )
+        rng = np.random.default_rng(5)
+        delays = [model.request(rng).delay_s for _ in range(200)]
+        assert min(delays) >= 0.0
+        assert 15.0 < np.mean(delays) < 25.0
+
+    def test_declines_labelled(self):
+        model = participatory(acceptance_probability=0.0)
+        outcome = model.request(np.random.default_rng(6))
+        assert not outcome.answered
+        assert outcome.reason == "user-declined"
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            ParticipationModel(mode="telepathic")
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            ParticipationModel(mode="participatory", acceptance_probability=1.5)
+
+    def test_bad_delay(self):
+        with pytest.raises(ValueError):
+            ParticipationModel(
+                mode="participatory", response_delay_s=(-1.0, 0.0)
+            )
+
+
+class TestMixedCrowd:
+    def test_share_respected(self):
+        crowd = MixedCrowd(
+            [f"n{i}" for i in range(500)], opportunistic_share=0.7, rng=7
+        )
+        auto = sum(
+            1 for m in crowd.models.values() if m.mode == "opportunistic"
+        )
+        assert 300 < auto < 400
+
+    def test_opportunistic_crowd_answers_fast(self):
+        crowd = MixedCrowd(
+            [f"n{i}" for i in range(60)], opportunistic_share=1.0, rng=8
+        )
+        answers, worst_delay, issued = crowd.gather(40)
+        assert answers == 40
+        assert worst_delay == 0.0
+        assert issued == 40
+
+    def test_participatory_crowd_needs_more_requests(self):
+        crowd = MixedCrowd(
+            [f"n{i}" for i in range(200)],
+            opportunistic_share=0.0,
+            acceptance_probability=0.5,
+            rng=9,
+        )
+        answers, worst_delay, issued = crowd.gather(40)
+        assert answers == 40
+        assert issued > 50  # declines force extra asks
+        assert worst_delay > 0.0
+
+    def test_exhausted_crowd_returns_partial(self):
+        crowd = MixedCrowd(
+            ["a", "b", "c"], opportunistic_share=0.0,
+            acceptance_probability=0.0, rng=10,
+        )
+        answers, _, issued = crowd.gather(2)
+        assert answers == 0
+        assert issued == 3
+
+    def test_unknown_node(self):
+        crowd = MixedCrowd(["a"], opportunistic_share=1.0, rng=11)
+        with pytest.raises(KeyError):
+            crowd.request("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixedCrowd([], opportunistic_share=0.5)
+        with pytest.raises(ValueError):
+            MixedCrowd(["a"], opportunistic_share=2.0)
+        crowd = MixedCrowd(["a"], opportunistic_share=1.0, rng=12)
+        with pytest.raises(ValueError):
+            crowd.gather(0)

@@ -1,0 +1,65 @@
+"""Tests for privacy policy enforcement (Section 5)."""
+
+import pytest
+
+from repro.middleware.privacy import PrivacyAudit, PrivacyPolicy
+from repro.sensors.base import SensorReading
+
+
+def _reading(sensor="gps", value=12.345):
+    return SensorReading(sensor=sensor, timestamp=0.0, value=value)
+
+
+class TestMayShare:
+    def test_default_allows_everything(self):
+        assert PrivacyPolicy().may_share("gps")
+
+    def test_opt_out_blocks_everything(self):
+        policy = PrivacyPolicy()
+        policy.opt_out()
+        assert not policy.may_share("temperature")
+        policy.opt_in()
+        assert policy.may_share("temperature")
+
+    def test_allowlist(self):
+        policy = PrivacyPolicy(allowed_sensors={"temperature"})
+        assert policy.may_share("temperature")
+        assert not policy.may_share("gps")
+
+    def test_blocklist_wins_over_allowlist(self):
+        policy = PrivacyPolicy(
+            allowed_sensors={"gps"}, blocked_sensors={"gps"}
+        )
+        assert not policy.may_share("gps")
+
+
+class TestFilterReading:
+    def test_blocked_returns_none(self):
+        policy = PrivacyPolicy(blocked_sensors={"gps"})
+        assert policy.filter_reading(_reading("gps")) is None
+
+    def test_quantisation_reduces_granularity(self):
+        policy = PrivacyPolicy(quantization={"gps": 5.0})
+        filtered = policy.filter_reading(_reading("gps", 12.4))
+        assert filtered.value == 10.0
+
+    def test_no_quantisation_passes_exact(self):
+        policy = PrivacyPolicy()
+        assert policy.filter_reading(_reading("gps", 12.4)).value == 12.4
+
+    def test_quantisation_only_for_configured_sensor(self):
+        policy = PrivacyPolicy(quantization={"gps": 5.0})
+        temp = policy.filter_reading(_reading("temperature", 21.7))
+        assert temp.value == 21.7
+
+
+class TestAudit:
+    def test_counts(self):
+        audit = PrivacyAudit()
+        audit.record("gps", was_shared=True)
+        audit.record("gps", was_shared=False)
+        audit.record("temperature", was_shared=True)
+        assert audit.total_shared() == 2
+        assert audit.total_withheld() == 1
+        assert audit.shared == {"gps": 1, "temperature": 1}
+        assert audit.withheld == {"gps": 1}

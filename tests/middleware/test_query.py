@@ -1,0 +1,127 @@
+"""Tests for the query & filtering engine."""
+
+import pytest
+
+from repro.middleware.query import FilterEngine, Predicate, Query, StandingQuery
+from repro.sensors.base import SensorReading
+
+
+def _reading(sensor="temperature", value=21.0, node="n1", t=0.0):
+    return SensorReading(
+        sensor=sensor, timestamp=t, value=value, node_id=node
+    )
+
+
+class TestPredicate:
+    def test_operators(self):
+        r = _reading(value=25.0)
+        assert Predicate("value", ">", 20.0).matches(r)
+        assert Predicate("value", "<=", 25.0).matches(r)
+        assert not Predicate("value", "<", 25.0).matches(r)
+        assert Predicate("sensor", "==", "temperature").matches(r)
+        assert Predicate("sensor", "!=", "gps").matches(r)
+        assert Predicate("node_id", "in", {"n1", "n2"}).matches(r)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Predicate("value", "~=", 1.0)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            Predicate("latitude", "==", 1.0).matches(_reading())
+
+    def test_type_mismatch_is_no_match(self):
+        assert not Predicate("value", "<", "abc").matches(_reading())
+
+
+class TestQuery:
+    def _readings(self):
+        return [
+            _reading(value=v, t=float(i), node=f"n{i % 2}")
+            for i, v in enumerate([18.0, 25.0, 30.0, 22.0, 27.0])
+        ]
+
+    def test_conjunction(self):
+        query = Query(
+            predicates=(
+                Predicate("value", ">", 20.0),
+                Predicate("node_id", "==", "n0"),
+            )
+        )
+        hits = query.run(self._readings())
+        assert all(r.value > 20 and r.node_id == "n0" for r in hits)
+        assert len(hits) == 2
+
+    def test_newest_first_and_limit(self):
+        query = Query(
+            predicates=(Predicate("value", ">", 20.0),), limit=2
+        )
+        hits = query.run(self._readings())
+        assert len(hits) == 2
+        assert hits[0].timestamp > hits[1].timestamp
+
+    def test_oldest_first(self):
+        query = Query(newest_first=False)
+        hits = query.run(self._readings())
+        assert hits[0].timestamp == 0.0
+
+    def test_empty_query_matches_all(self):
+        assert len(Query().run(self._readings())) == 5
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            Query(limit=0)
+
+
+class TestStandingQueryAndEngine:
+    def test_delivery_on_match(self):
+        received = []
+        sq = StandingQuery(
+            query=Query(predicates=(Predicate("value", ">", 30.0),)),
+            subscriber="app1",
+            callback=received.append,
+        )
+        engine = FilterEngine()
+        engine.register(sq)
+        engine.ingest(_reading(value=35.0))
+        engine.ingest(_reading(value=10.0))
+        assert len(received) == 1
+        assert sq.delivered == 1
+
+    def test_fanout_to_multiple_subscribers(self):
+        hot, all_readings = [], []
+        engine = FilterEngine()
+        engine.register(
+            StandingQuery(
+                Query(predicates=(Predicate("value", ">", 30.0),)),
+                "hot-app",
+                hot.append,
+            )
+        )
+        engine.register(StandingQuery(Query(), "logger", all_readings.append))
+        count = engine.ingest(_reading(value=40.0))
+        assert count == 2
+        count = engine.ingest(_reading(value=10.0))
+        assert count == 1
+        assert len(hot) == 1 and len(all_readings) == 2
+
+    def test_suppression_ratio(self):
+        engine = FilterEngine()
+        engine.register(
+            StandingQuery(
+                Query(predicates=(Predicate("value", ">", 100.0),)),
+                "rare",
+                lambda r: None,
+            )
+        )
+        for v in range(10):
+            engine.ingest(_reading(value=float(v)))
+        assert engine.suppression_ratio == 1.0
+
+    def test_unregister(self):
+        engine = FilterEngine()
+        engine.register(StandingQuery(Query(), "a", lambda r: None))
+        engine.register(StandingQuery(Query(), "a", lambda r: None))
+        engine.register(StandingQuery(Query(), "b", lambda r: None))
+        assert engine.unregister("a") == 2
+        assert len(engine.standing) == 1

@@ -1,0 +1,110 @@
+"""Tests for adaptive duty-cycling and round-robin sensing rotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.scheduler import AdaptiveDutyCycle, RoundRobinScheduler
+
+
+class TestAdaptiveDutyCycle:
+    def test_raises_duty_on_high_error(self):
+        ctl = AdaptiveDutyCycle(target_error=0.1, duty_cycle=0.2)
+        new = ctl.update(observed_error=0.5)
+        assert new > 0.2
+
+    def test_lowers_duty_on_low_error(self):
+        ctl = AdaptiveDutyCycle(target_error=0.1, duty_cycle=0.5)
+        new = ctl.update(observed_error=0.01)
+        assert new < 0.5
+
+    def test_hysteresis_band_holds(self):
+        ctl = AdaptiveDutyCycle(target_error=0.1, duty_cycle=0.3, hysteresis=0.2)
+        assert ctl.update(0.1) == 0.3
+        assert ctl.update(0.11) == 0.3  # within +-20%
+
+    @given(
+        errors=st.lists(
+            st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_duty_always_within_bounds(self, errors):
+        ctl = AdaptiveDutyCycle(
+            target_error=0.1, duty_cycle=0.25, min_duty=0.05, max_duty=0.9
+        )
+        for e in errors:
+            duty = ctl.update(e)
+            assert 0.05 <= duty <= 0.9
+
+    def test_converges_near_target(self):
+        """Closed loop against a synthetic error model err = c / duty."""
+        ctl = AdaptiveDutyCycle(target_error=0.1, duty_cycle=0.5)
+        for _ in range(40):
+            observed = 0.02 / ctl.duty_cycle
+            ctl.update(observed)
+        final_error = 0.02 / ctl.duty_cycle
+        assert 0.05 < final_error < 0.2
+
+    def test_samples_for(self):
+        ctl = AdaptiveDutyCycle(target_error=0.1, duty_cycle=0.25)
+        assert ctl.samples_for(256) == 64
+        assert ctl.samples_for(1) == 1
+        with pytest.raises(ValueError):
+            ctl.samples_for(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveDutyCycle(target_error=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveDutyCycle(target_error=0.1, duty_cycle=0.01, min_duty=0.05)
+        with pytest.raises(ValueError):
+            AdaptiveDutyCycle(target_error=0.1, increase_factor=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveDutyCycle(target_error=0.1, decrease_factor=1.1)
+        with pytest.raises(ValueError):
+            AdaptiveDutyCycle(target_error=0.1).update(-0.1)
+
+
+class TestRoundRobin:
+    def test_rotation_visits_everyone(self):
+        scheduler = RoundRobinScheduler(members=["a", "b", "c", "d"])
+        seen = set()
+        for _ in range(2):
+            seen.update(scheduler.pick(2))
+        assert seen == {"a", "b", "c", "d"}
+
+    def test_load_balanced_over_many_rounds(self):
+        scheduler = RoundRobinScheduler(members=[f"n{i}" for i in range(10)])
+        for _ in range(50):
+            scheduler.pick(3)
+        counts = list(scheduler.load().values())
+        assert max(counts) - min(counts) <= 1
+        assert scheduler.fairness() > 0.99
+
+    def test_pick_more_than_members(self):
+        scheduler = RoundRobinScheduler(members=["a", "b"])
+        assert len(scheduler.pick(5)) == 2
+
+    def test_add_remove(self):
+        scheduler = RoundRobinScheduler(members=["a"])
+        scheduler.add("b")
+        scheduler.remove("a")
+        assert scheduler.pick(1) == ["b"]
+
+    def test_new_member_prioritised(self):
+        scheduler = RoundRobinScheduler(members=["a", "b"])
+        for _ in range(4):
+            scheduler.pick(1)
+        scheduler.add("fresh")
+        assert "fresh" in scheduler.pick(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(members=[])
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(members=["a"]).pick(0)
+
+    def test_fairness_empty_history(self):
+        assert RoundRobinScheduler(members=["a"]).fairness() == 1.0

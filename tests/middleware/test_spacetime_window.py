@@ -1,0 +1,97 @@
+"""Tests for the NanoCloud -> joint spatio-temporal bridge."""
+
+import numpy as np
+import pytest
+
+from repro.fields.field import SpatialField
+from repro.fields.generators import smooth_field
+from repro.fields.temporal import ar1_evolution, evolve_field
+from repro.middleware.config import BrokerConfig
+from repro.middleware.nanocloud import NanoCloud
+from repro.middleware.spacetime import gather_spacetime_window
+from repro.network.bus import MessageBus
+from repro.sensors.base import Environment
+
+W = H = 8
+T = 8
+
+
+@pytest.fixture
+def evolving_world():
+    initial = smooth_field(W, H, cutoff=0.2, amplitude=4.0, offset=20.0, rng=0)
+    trace = evolve_field(
+        initial, ar1_evolution(rho=0.97, innovation_std=0.05),
+        steps=T - 1, rng=1,
+    )
+    truths = list(trace.snapshots)
+    envs = [Environment(fields={"temperature": f}) for f in truths]
+    return truths, envs
+
+
+def _nanocloud(seed=3):
+    bus = MessageBus()
+    return NanoCloud.build(
+        "nc", bus, W, H, n_nodes=W * H,
+        config=BrokerConfig(seed=seed), heterogeneous=False, rng=seed,
+    )
+
+
+class TestGatherWindow:
+    def test_joint_window_reconstructs(self, evolving_world):
+        truths, envs = evolving_world
+        nc = _nanocloud()
+        window = gather_spacetime_window(
+            nc, lambda r: envs[r], rounds=T, measurements_per_round=12,
+            sparsity=24,
+        )
+        errors = window.errors_against(truths)
+        assert np.median(errors) < 0.05
+        assert window.t == T
+        assert len(window.samples) == sum(window.per_round_m)
+
+    def test_beats_per_round_reconstruction(self, evolving_world):
+        """The point of the bridge: each round's own reconstruction from
+        M=8 samples is poor, but the joint window recovers them all."""
+        truths, envs = evolving_world
+        from repro.core import metrics
+
+        nc = _nanocloud(seed=5)
+        per_round_errors = []
+        window = gather_spacetime_window(
+            nc, lambda r: envs[r], rounds=T, measurements_per_round=8,
+            sparsity=20,
+        )
+        joint_errors = window.errors_against(truths)
+
+        nc2 = _nanocloud(seed=5)
+        for r in range(T):
+            estimate = nc2.run_round(
+                envs[r], timestamp=float(r), measurements=8
+            )
+            per_round_errors.append(
+                metrics.relative_error(
+                    truths[r].vector(), estimate.field.vector()
+                )
+            )
+        assert np.median(joint_errors) < np.median(per_round_errors)
+
+    def test_errors_against_shape_check(self, evolving_world):
+        truths, envs = evolving_world
+        nc = _nanocloud(seed=7)
+        window = gather_spacetime_window(
+            nc, lambda r: envs[r], rounds=3, measurements_per_round=10
+        )
+        with pytest.raises(ValueError):
+            window.errors_against(truths)  # 8 truths for 3 snapshots
+
+    def test_validation(self, evolving_world):
+        truths, envs = evolving_world
+        nc = _nanocloud(seed=9)
+        with pytest.raises(ValueError):
+            gather_spacetime_window(
+                nc, lambda r: envs[r], rounds=1, measurements_per_round=8
+            )
+        with pytest.raises(ValueError):
+            gather_spacetime_window(
+                nc, lambda r: envs[r], rounds=4, measurements_per_round=0
+            )

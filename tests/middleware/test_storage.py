@@ -1,0 +1,115 @@
+"""Tests for the SQLite data log."""
+
+import pytest
+
+from repro.middleware.query import Predicate, Query
+from repro.middleware.storage import ContextRecord, DataStore
+from repro.sensors.base import SensorReading
+
+
+def _reading(sensor="temperature", value=21.0, node="n1", t=0.0):
+    return SensorReading(
+        sensor=sensor, timestamp=t, value=value, node_id=node, unit="C",
+        noise_std=0.3,
+    )
+
+
+@pytest.fixture
+def store():
+    with DataStore() as s:
+        yield s
+
+
+class TestReadings:
+    def test_log_and_retrieve_roundtrip(self, store):
+        store.log_reading(_reading(value=23.5, t=1.0))
+        got = store.readings()
+        assert len(got) == 1
+        assert got[0].value == 23.5
+        assert got[0].unit == "C"
+        assert got[0].noise_std == 0.3
+
+    def test_bulk_insert(self, store):
+        n = store.log_readings([_reading(t=float(i)) for i in range(10)])
+        assert n == 10
+        assert store.reading_count() == 10
+
+    def test_filters(self, store):
+        store.log_readings(
+            [
+                _reading(sensor="temperature", node="a", t=1.0),
+                _reading(sensor="gps", node="a", t=2.0),
+                _reading(sensor="temperature", node="b", t=3.0),
+            ]
+        )
+        assert len(store.readings(sensor="temperature")) == 2
+        assert len(store.readings(node_id="a")) == 2
+        assert len(store.readings(since=2.0)) == 2
+        assert len(store.readings(until=2.0)) == 2
+        assert len(store.readings(sensor="gps", node_id="b")) == 0
+
+    def test_newest_first_with_limit(self, store):
+        store.log_readings([_reading(t=float(i)) for i in range(5)])
+        got = store.readings(limit=2)
+        assert [r.timestamp for r in got] == [4.0, 3.0]
+
+    def test_bad_limit(self, store):
+        with pytest.raises(ValueError):
+            store.readings(limit=0)
+
+    def test_run_query_pushdown_plus_python_filter(self, store):
+        store.log_readings(
+            [
+                _reading(sensor="temperature", value=v, t=float(i))
+                for i, v in enumerate([18.0, 25.0, 31.0])
+            ]
+            + [_reading(sensor="gps", value=4.0, t=10.0)]
+        )
+        query = Query(
+            predicates=(
+                Predicate("sensor", "==", "temperature"),
+                Predicate("value", ">", 20.0),
+            )
+        )
+        hits = store.run_query(query)
+        assert len(hits) == 2
+        assert all(r.sensor == "temperature" for r in hits)
+
+    def test_prune(self, store):
+        store.log_readings([_reading(t=float(i)) for i in range(6)])
+        removed = store.prune_before(3.0)
+        assert removed == 3
+        assert store.reading_count() == 3
+
+
+class TestContexts:
+    def test_log_and_retrieve(self, store):
+        store.log_context(
+            ContextRecord(kind="activity", node_id="n1", timestamp=1.0, value="driving")
+        )
+        store.log_context(
+            ContextRecord(kind="activity", node_id="n2", timestamp=2.0, value="idle")
+        )
+        got = store.contexts(kind="activity")
+        assert len(got) == 2
+        assert got[0].value == "idle"  # newest first
+
+    def test_since_filter(self, store):
+        for t in range(4):
+            store.log_context(
+                ContextRecord("activity", "n1", float(t), "idle")
+            )
+        assert len(store.contexts(since=2.0)) == 2
+
+    def test_prune_covers_contexts(self, store):
+        store.log_context(ContextRecord("activity", "n1", 0.0, "idle"))
+        store.log_context(ContextRecord("activity", "n1", 5.0, "idle"))
+        assert store.prune_before(1.0) == 1
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self):
+        with DataStore() as store:
+            store.log_reading(_reading())
+        with pytest.raises(Exception):
+            store.reading_count()

@@ -1,0 +1,115 @@
+"""Tests for energy-efficient upload strategies ([16]-style)."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.upload import (
+    BatchedUpload,
+    ImmediateUpload,
+    OpportunisticUpload,
+    UploadItem,
+)
+from repro.network.links import GSM, WIFI
+
+
+def _trace(count=20, period=10.0):
+    return [UploadItem(timestamp=i * period) for i in range(count)]
+
+
+class TestImmediate:
+    def test_one_transmission_per_item(self):
+        stats = ImmediateUpload(WIFI).run(_trace())
+        assert stats.transmissions == 20
+        assert stats.items_sent == 20
+        assert stats.mean_staleness_s == 0.0
+
+
+class TestBatched:
+    def test_batches_amortise_wakeups(self):
+        immediate = ImmediateUpload(GSM).run(_trace())
+        batched = BatchedUpload(GSM, batch_size=5).run(_trace())
+        assert batched.transmissions == 4
+        assert batched.energy_mj < immediate.energy_mj
+        # The saving comes from per-message wake-up cost amortisation.
+        assert batched.energy_mj < 0.5 * immediate.energy_mj
+
+    def test_staleness_grows_with_batch(self):
+        small = BatchedUpload(GSM, batch_size=2).run(_trace())
+        large = BatchedUpload(GSM, batch_size=10).run(_trace())
+        assert large.mean_staleness_s > small.mean_staleness_s
+
+    def test_partial_batch_needs_flush(self):
+        items = _trace(count=7)
+        unflushed = BatchedUpload(GSM, batch_size=5).run(items)
+        assert unflushed.items_sent == 5
+        assert unflushed.items_pending == 2
+        flushed = BatchedUpload(GSM, batch_size=5).run(items, flush_at=100.0)
+        assert flushed.items_sent == 7
+        assert flushed.items_pending == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchedUpload(GSM, batch_size=0)
+
+
+class TestOpportunistic:
+    def test_uses_cheap_window_when_available(self):
+        strategy = OpportunisticUpload(
+            cheap_link=WIFI,
+            expensive_link=GSM,
+            cheap_windows=[(0.0, 1000.0)],  # WiFi always reachable
+            max_staleness_s=60.0,
+        )
+        stats = strategy.run(_trace(), flush_at=200.0)
+        assert stats.items_sent == 20
+        # Everything went over WiFi: much cheaper than any GSM plan.
+        gsm_batched = BatchedUpload(GSM, batch_size=5).run(
+            _trace(), flush_at=200.0
+        )
+        assert stats.energy_mj < gsm_batched.energy_mj
+
+    def test_deadline_forces_expensive_send(self):
+        strategy = OpportunisticUpload(
+            cheap_link=WIFI,
+            expensive_link=GSM,
+            cheap_windows=[(1e6, 1e6 + 1)],  # WiFi effectively never
+            max_staleness_s=35.0,
+        )
+        stats = strategy.run(_trace(count=10), flush_at=100.0)
+        assert stats.items_sent == 10
+        # Deadline (35 s) bounds staleness even on the expensive path.
+        assert stats.mean_staleness_s <= 35.0 + 1e-9
+
+    def test_waits_for_imminent_cheap_window(self):
+        """Items produced shortly before a WiFi window ride it for free."""
+        strategy = OpportunisticUpload(
+            cheap_link=WIFI,
+            expensive_link=GSM,
+            cheap_windows=[(50.0, 60.0)],
+            max_staleness_s=100.0,
+        )
+        items = [UploadItem(timestamp=float(t)) for t in (10.0, 20.0, 55.0)]
+        stats = strategy.run(items, flush_at=70.0)
+        # All three go over WiFi at t=55: energy far below one GSM send.
+        assert stats.transmissions <= 2
+        single_gsm = ImmediateUpload(GSM).run([items[0]])
+        assert stats.energy_mj < single_gsm.energy_mj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpportunisticUpload(WIFI, GSM, [(0.0, 1.0)], max_staleness_s=0.0)
+        with pytest.raises(ValueError):
+            OpportunisticUpload(WIFI, GSM, [(5.0, 1.0)], max_staleness_s=10.0)
+
+    def test_energy_ordering_immediate_batched_opportunistic(self):
+        """The [16] frontier: immediate > batched > opportunistic energy
+        when WiFi windows exist, with staleness moving the other way."""
+        items = _trace(count=30, period=10.0)
+        immediate = ImmediateUpload(GSM).run(items)
+        batched = BatchedUpload(GSM, batch_size=6).run(items, flush_at=310.0)
+        opportunistic = OpportunisticUpload(
+            WIFI, GSM, cheap_windows=[(100.0, 110.0), (250.0, 260.0)],
+            max_staleness_s=200.0,
+        ).run(items, flush_at=310.0)
+        assert immediate.energy_mj > batched.energy_mj > opportunistic.energy_mj
+        assert immediate.mean_staleness_s <= batched.mean_staleness_s

@@ -1,0 +1,131 @@
+"""Tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.fields.generators import indicator_field
+from repro.mobility.models import (
+    GaussMarkov,
+    RandomWaypoint,
+    StaticPlacement,
+    mode_from_speed,
+)
+from repro.sensors.base import Environment, NodeState
+
+
+class TestModeFromSpeed:
+    def test_thresholds(self):
+        assert mode_from_speed(0.0) == "idle"
+        assert mode_from_speed(1.0) == "walking"
+        assert mode_from_speed(10.0) == "driving"
+
+
+class TestStatic:
+    def test_never_moves(self):
+        model = StaticPlacement(10, 10)
+        state = NodeState(x=3.0, y=4.0)
+        for _ in range(10):
+            model.step(state, 1.0)
+        assert state.position() == (3.0, 4.0)
+        assert state.mode == "idle"
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPlacement(10, 10).step(NodeState(), -1.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_bounds(self):
+        model = RandomWaypoint(20, 10, rng=0)
+        state = NodeState(x=5.0, y=5.0)
+        for _ in range(500):
+            model.step(state, 0.5)
+            assert 0 <= state.x <= 20
+            assert 0 <= state.y <= 10
+
+    def test_actually_moves(self):
+        model = RandomWaypoint(20, 20, pause_range=(0.0, 0.0), rng=1)
+        state = NodeState(x=10.0, y=10.0)
+        start = state.position()
+        for _ in range(20):
+            model.step(state, 1.0)
+        assert state.position() != start
+
+    def test_mode_follows_speed(self):
+        model = RandomWaypoint(
+            50, 50, speed_range=(1.0, 1.5), pause_range=(0.0, 0.0), rng=2
+        )
+        state = NodeState(x=25.0, y=25.0)
+        model.step(state, 0.1)
+        assert state.mode == "walking"
+
+    def test_pause_produces_idle(self):
+        model = RandomWaypoint(
+            5, 5, speed_range=(10.0, 10.0), pause_range=(5.0, 5.0), rng=3
+        )
+        state = NodeState(x=2.0, y=2.0)
+        saw_idle = False
+        for _ in range(50):
+            model.step(state, 1.0)
+            saw_idle = saw_idle or state.mode == "idle"
+        assert saw_idle
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(10, 10, speed_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypoint(10, 10, pause_range=(-1.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypoint(0, 10)
+
+
+class TestGaussMarkov:
+    def test_stays_in_bounds(self):
+        model = GaussMarkov(30, 30, rng=4)
+        state = NodeState(x=15.0, y=15.0, speed=4.0)
+        for _ in range(500):
+            model.step(state, 0.5)
+            assert 0 <= state.x <= 30
+            assert 0 <= state.y <= 30
+
+    def test_speed_stays_near_mean(self):
+        model = GaussMarkov(1000, 1000, mean_speed=5.0, alpha=0.9, rng=5)
+        state = NodeState(x=500.0, y=500.0, speed=5.0)
+        speeds = []
+        for _ in range(300):
+            model.step(state, 1.0)
+            speeds.append(state.speed)
+        assert 3.0 < np.mean(speeds) < 7.0
+
+    def test_high_alpha_smoother_heading(self):
+        def heading_variation(alpha, seed):
+            model = GaussMarkov(
+                10000, 10000, alpha=alpha, heading_std=0.5, rng=seed
+            )
+            state = NodeState(x=5000, y=5000, speed=4.0)
+            headings = []
+            for _ in range(200):
+                model.step(state, 1.0)
+                headings.append(state.heading)
+            return np.std(np.diff(headings))
+
+        smooth = np.mean([heading_variation(0.98, s) for s in range(3)])
+        rough = np.mean([heading_variation(0.2, s) for s in range(3)])
+        assert smooth < rough
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussMarkov(10, 10, alpha=1.5)
+        with pytest.raises(ValueError):
+            GaussMarkov(10, 10, mean_speed=-1.0)
+
+
+class TestIndoorUpdate:
+    def test_update_indoor_reflects_environment(self):
+        env = Environment(indoor_map=indicator_field(8, 8, n_regions=2, rng=0))
+        model = StaticPlacement(8, 8)
+        grid = env.indoor_map.grid
+        j, i = np.argwhere(grid > 0.5)[0]
+        state = NodeState(x=float(i), y=float(j))
+        model.update_indoor(state, env)
+        assert state.indoor is True

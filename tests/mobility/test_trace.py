@@ -1,0 +1,91 @@
+"""Tests for mobility trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.fields.generators import indicator_field
+from repro.mobility.models import RandomWaypoint, StaticPlacement
+from repro.mobility.trace import MobilityTrace, record_trace, replay_states
+from repro.sensors.base import Environment, NodeState
+
+
+@pytest.fixture
+def env():
+    return Environment(indoor_map=indicator_field(16, 16, n_regions=3, rng=0))
+
+
+class TestMobilityTrace:
+    def test_append_requires_increasing_time(self):
+        trace = MobilityTrace("n1")
+        trace.append(0.0, NodeState())
+        with pytest.raises(ValueError):
+            trace.append(0.0, NodeState())
+
+    def test_at_step_hold(self):
+        trace = MobilityTrace("n1")
+        trace.append(0.0, NodeState(x=1.0))
+        trace.append(10.0, NodeState(x=2.0))
+        assert trace.at(5.0).x == 1.0
+        assert trace.at(10.0).x == 2.0
+        assert trace.at(99.0).x == 2.0
+
+    def test_at_before_start(self):
+        trace = MobilityTrace("n1")
+        trace.append(5.0, NodeState())
+        with pytest.raises(ValueError):
+            trace.at(4.0)
+
+    def test_at_empty(self):
+        with pytest.raises(ValueError):
+            MobilityTrace("n1").at(0.0)
+
+    def test_mode_fractions(self):
+        trace = MobilityTrace("n1")
+        trace.append(0.0, NodeState(mode="idle"))
+        trace.append(1.0, NodeState(mode="driving"))
+        trace.append(2.0, NodeState(mode="driving"))
+        fractions = trace.mode_fractions()
+        assert fractions["driving"] == pytest.approx(2 / 3)
+
+    def test_indoor_fraction_empty(self):
+        assert MobilityTrace("n1").indoor_fraction() == 0.0
+
+
+class TestRecordTrace:
+    def test_record_length_and_times(self, env):
+        model = RandomWaypoint(16, 16, rng=1)
+        trace = record_trace(
+            "n1", NodeState(x=8, y=8), model, env, duration_s=10.0, dt=1.0
+        )
+        assert len(trace) == 11
+        assert trace.points[0].timestamp == 0.0
+        assert trace.points[-1].timestamp == 10.0
+
+    def test_indoor_flag_recorded(self, env):
+        model = StaticPlacement(16, 16)
+        grid = env.indoor_map.grid
+        j, i = np.argwhere(grid > 0.5)[0]
+        trace = record_trace(
+            "n1", NodeState(x=float(i), y=float(j)), model, env,
+            duration_s=2.0,
+        )
+        assert trace.indoor_fraction() == 1.0
+
+    def test_invalid_duration(self, env):
+        with pytest.raises(ValueError):
+            record_trace(
+                "n1", NodeState(), StaticPlacement(4, 4), env, duration_s=0.0
+            )
+
+
+class TestReplay:
+    def test_replay_matches_trace(self, env):
+        model = RandomWaypoint(16, 16, rng=2)
+        trace = record_trace(
+            "n1", NodeState(x=8, y=8), model, env, duration_s=20.0
+        )
+        states = replay_states(trace, np.array([0.0, 5.5, 20.0]))
+        assert len(states) == 3
+        assert states[0].x == trace.points[0].x
+        assert states[1].x == trace.at(5.5).x
+        assert states[2].mode == trace.points[-1].mode

@@ -1,0 +1,160 @@
+"""Tests for the metered pub/sub message bus."""
+
+import pytest
+
+from repro.network.bus import MessageBus
+from repro.network.links import BLUETOOTH, WIFI
+from repro.network.message import Message, MessageKind
+
+
+def _msg(src, dst, values=1):
+    return Message(
+        kind=MessageKind.SENSE_REPORT,
+        source=src,
+        destination=dst,
+        payload_values=values,
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        bus = MessageBus()
+        endpoint = bus.register("a")
+        assert bus.endpoint("a") is endpoint
+        assert bus.addresses == ["a"]
+
+    def test_register_is_idempotent(self):
+        bus = MessageBus()
+        assert bus.register("a") is bus.register("a")
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            MessageBus().endpoint("ghost")
+
+    def test_unregister_cleans_subscriptions(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.subscribe("a", "topic")
+        bus.unregister("a")
+        assert bus.subscribers("topic") == set()
+
+    def test_custom_link(self):
+        bus = MessageBus()
+        endpoint = bus.register("bt-node", BLUETOOTH)
+        assert endpoint.link is BLUETOOTH
+
+
+class TestSend:
+    def test_delivery_to_inbox(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.send(_msg("a", "b"))
+        messages = bus.endpoint("b").drain()
+        assert len(messages) == 1
+        assert messages[0].source == "a"
+        assert bus.endpoint("b").pending() == 0
+
+    def test_unknown_destination_rejected(self):
+        bus = MessageBus()
+        bus.register("a")
+        with pytest.raises(KeyError):
+            bus.send(_msg("a", "nowhere"))
+
+    def test_stats_accumulate(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        for _ in range(3):
+            bus.send(_msg("a", "b", values=10))
+        assert bus.stats.messages == 3
+        assert bus.stats.bytes == 3 * (32 + 80)
+        assert bus.stats.total_energy_mj > 0
+        assert bus.stats.by_kind["sense_report"] == 3
+
+    def test_both_parties_metered(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.send(_msg("a", "b"))
+        assert bus.endpoint("a").stats.messages == 1
+        assert bus.endpoint("b").stats.messages == 1
+
+    def test_drain_is_fifo(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        first = _msg("a", "b")
+        second = _msg("a", "b")
+        bus.send(first)
+        bus.send(second)
+        ids = [m.message_id for m in bus.endpoint("b").drain()]
+        assert ids == [first.message_id, second.message_id]
+
+
+class TestPubSub:
+    def test_publish_reaches_subscribers(self):
+        bus = MessageBus()
+        for name in ("pub", "s1", "s2", "other"):
+            bus.register(name)
+        bus.subscribe("s1", "temp")
+        bus.subscribe("s2", "temp")
+        count = bus.publish("temp", _msg("pub", "temp-topic"))
+        assert count == 2
+        assert bus.endpoint("s1").pending() == 1
+        assert bus.endpoint("s2").pending() == 1
+        assert bus.endpoint("other").pending() == 0
+
+    def test_publisher_not_echoed(self):
+        bus = MessageBus()
+        bus.register("pub")
+        bus.subscribe("pub", "temp")
+        count = bus.publish("temp", _msg("pub", "temp-topic"))
+        assert count == 0
+        assert bus.endpoint("pub").pending() == 0
+
+    def test_subscribe_requires_registration(self):
+        with pytest.raises(KeyError):
+            MessageBus().subscribe("ghost", "topic")
+
+    def test_empty_topic_rejected(self):
+        bus = MessageBus()
+        bus.register("a")
+        with pytest.raises(ValueError):
+            bus.subscribe("a", "")
+
+    def test_unsubscribe(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.subscribe("a", "t")
+        bus.unsubscribe("a", "t")
+        assert bus.subscribers("t") == set()
+
+    def test_each_delivery_metered(self):
+        bus = MessageBus()
+        for name in ("pub", "s1", "s2"):
+            bus.register(name)
+        bus.subscribe("s1", "t")
+        bus.subscribe("s2", "t")
+        bus.publish("t", _msg("pub", "t"))
+        assert bus.stats.messages == 2  # one per receiver
+
+
+class TestRequestReply:
+    def test_round_trip(self):
+        bus = MessageBus()
+        bus.register("broker")
+        bus.register("node")
+        request = Message(
+            kind=MessageKind.SENSE_COMMAND,
+            source="broker",
+            destination="node",
+            payload={"sensor": "temperature"},
+        )
+        reply = bus.request_reply(
+            request, MessageKind.SENSE_REPORT, {"value": 21.5}
+        )
+        assert reply.destination == "broker"
+        assert bus.endpoint("broker").pending() == 1
+        assert bus.endpoint("node").pending() == 1
+        assert bus.stats.messages == 2

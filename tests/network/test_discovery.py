@@ -1,0 +1,80 @@
+"""Tests for service discovery."""
+
+import pytest
+
+from repro.network.discovery import DiscoveryRegistry, ServiceAnnouncement
+
+
+def _offer(address, service="sensor:temperature", quality=1.0, expires=float("inf")):
+    return ServiceAnnouncement(
+        address=address, service=service, quality=quality, expires_at=expires
+    )
+
+
+class TestAnnouncement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceAnnouncement(address="", service="x")
+        with pytest.raises(ValueError):
+            ServiceAnnouncement(address="a", service="")
+        with pytest.raises(ValueError):
+            ServiceAnnouncement(address="a", service="x", quality=-1.0)
+
+
+class TestRegistry:
+    def test_announce_and_lookup(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1"))
+        reg.announce(_offer("n2", quality=2.0))
+        offers = reg.lookup("sensor:temperature")
+        assert [o.address for o in offers] == ["n2", "n1"]  # quality order
+
+    def test_reannounce_replaces(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1", quality=1.0))
+        reg.announce(_offer("n1", quality=5.0))
+        offers = reg.lookup("sensor:temperature")
+        assert len(offers) == 1
+        assert offers[0].quality == 5.0
+
+    def test_min_quality_filter(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("cheap", quality=0.2))
+        reg.announce(_offer("good", quality=2.0))
+        offers = reg.lookup("sensor:temperature", min_quality=1.0)
+        assert [o.address for o in offers] == ["good"]
+
+    def test_expiry_respected_in_lookup(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1", expires=10.0))
+        assert len(reg.lookup("sensor:temperature", now=5.0)) == 1
+        assert len(reg.lookup("sensor:temperature", now=10.0)) == 0
+
+    def test_withdraw_one_service(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1", service="sensor:temperature"))
+        reg.announce(_offer("n1", service="sensor:humidity"))
+        reg.withdraw("n1", "sensor:temperature")
+        assert reg.lookup("sensor:temperature") == []
+        assert len(reg.lookup("sensor:humidity")) == 1
+
+    def test_withdraw_all(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1", service="a"))
+        reg.announce(_offer("n1", service="b"))
+        reg.withdraw("n1")
+        assert reg.services() == []
+
+    def test_services_listing(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1", service="sensor:temperature"))
+        reg.announce(_offer("n2", service="compute:fft"))
+        assert reg.services() == ["compute:fft", "sensor:temperature"]
+
+    def test_prune(self):
+        reg = DiscoveryRegistry()
+        reg.announce(_offer("n1", expires=5.0))
+        reg.announce(_offer("n2", expires=50.0))
+        removed = reg.prune(now=10.0)
+        assert removed == 1
+        assert [o.address for o in reg.lookup("sensor:temperature", now=10.0)] == ["n2"]

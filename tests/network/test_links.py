@@ -1,0 +1,62 @@
+"""Tests for radio link models."""
+
+import pytest
+
+from repro.network.links import BLUETOOTH, GSM, LINKS_BY_NAME, LTE, WIFI, LinkModel
+from repro.network.message import Message, MessageKind
+
+
+def _msg(values):
+    return Message(
+        kind=MessageKind.SENSE_REPORT,
+        source="a",
+        destination="b",
+        payload_values=values,
+    )
+
+
+class TestLinkModel:
+    def test_latency_monotone_in_size(self):
+        small = WIFI.transfer_latency_s(_msg(1))
+        large = WIFI.transfer_latency_s(_msg(1000))
+        assert large > small
+
+    def test_energy_monotone_in_size(self):
+        small = WIFI.transfer_energy_mj(_msg(1))
+        large = WIFI.transfer_energy_mj(_msg(1000))
+        assert large > small
+
+    def test_receive_cheaper_than_transmit(self):
+        msg = _msg(10)
+        for link in (WIFI, BLUETOOTH, GSM, LTE):
+            assert link.receive_energy_mj(msg) < link.transfer_energy_mj(msg)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel("x", 0, 0.1, 1.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            LinkModel("x", 1e6, -0.1, 1.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            LinkModel("x", 1e6, 0.1, -1.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            LinkModel("x", 1e6, 0.1, 1.0, 1.0, 0.0)
+
+
+class TestCalibration:
+    def test_cellular_wake_costs_more_than_wifi(self):
+        """The key ratio for collaboration: cellular per-message energy
+        dwarfs local WiFi/BT."""
+        msg = _msg(2)
+        assert GSM.transfer_energy_mj(msg) > 10 * WIFI.transfer_energy_mj(msg)
+        assert LTE.transfer_energy_mj(msg) > WIFI.transfer_energy_mj(msg)
+
+    def test_bluetooth_cheapest_per_message(self):
+        msg = _msg(2)
+        assert BLUETOOTH.transfer_energy_mj(msg) < WIFI.transfer_energy_mj(msg)
+
+    def test_ranges_ordered(self):
+        assert BLUETOOTH.range_m < WIFI.range_m < LTE.range_m <= GSM.range_m
+
+    def test_registry(self):
+        assert set(LINKS_BY_NAME) == {"wifi", "bluetooth", "gsm", "lte"}
+        assert LINKS_BY_NAME["wifi"] is WIFI

@@ -1,0 +1,111 @@
+"""Tests for multi-network interface selection."""
+
+import pytest
+
+from repro.network.links import BLUETOOTH, GSM, LTE, WIFI
+from repro.network.message import Message, MessageKind
+from repro.network.selector import NetworkSelector, SelectionPolicy
+
+
+def _msg(values=4):
+    return Message(
+        kind=MessageKind.SENSE_REPORT,
+        source="n",
+        destination="b",
+        payload_values=values,
+    )
+
+
+class TestPolicy:
+    def test_battery_aware_shifts_toward_energy(self):
+        policy = SelectionPolicy(energy_weight=0.3, battery_aware=True)
+        assert policy.effective_energy_weight(1.0) == pytest.approx(0.3)
+        assert policy.effective_energy_weight(0.0) == pytest.approx(1.0)
+        mid = policy.effective_energy_weight(0.5)
+        assert 0.3 < mid < 1.0
+
+    def test_not_battery_aware(self):
+        policy = SelectionPolicy(energy_weight=0.3, battery_aware=False)
+        assert policy.effective_energy_weight(0.1) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionPolicy(energy_weight=1.5)
+        with pytest.raises(ValueError):
+            SelectionPolicy().effective_energy_weight(2.0)
+
+
+class TestSelection:
+    def test_energy_policy_prefers_bluetooth_in_range(self):
+        selector = NetworkSelector(
+            SelectionPolicy(energy_weight=1.0, battery_aware=False)
+        )
+        result = selector.select(
+            _msg(), [WIFI, BLUETOOTH, GSM], distance_m=10.0
+        )
+        assert result.link is BLUETOOTH
+
+    def test_range_filters_bluetooth_out(self):
+        selector = NetworkSelector(
+            SelectionPolicy(energy_weight=1.0, battery_aware=False)
+        )
+        result = selector.select(
+            _msg(), [WIFI, BLUETOOTH], distance_m=60.0
+        )
+        assert result.link is WIFI
+
+    def test_latency_policy_prefers_wifi_over_gsm(self):
+        selector = NetworkSelector(
+            SelectionPolicy(energy_weight=0.0, battery_aware=False)
+        )
+        result = selector.select(_msg(), [WIFI, GSM], distance_m=50.0)
+        assert result.link is WIFI
+
+    def test_long_range_forces_cellular(self):
+        selector = NetworkSelector()
+        result = selector.select(
+            _msg(), [WIFI, BLUETOOTH, LTE, GSM], distance_m=1500.0
+        )
+        assert result.link in (LTE, GSM)
+
+    def test_draining_battery_switches_to_cheaper_radio(self):
+        """At full battery a latency-leaning node picks LTE for a distant
+        peer; nearly empty, the same node accepts GSM's latency for its
+        lower... no — GSM is pricier. Check the WiFi/LTE pair instead."""
+        selector = NetworkSelector(
+            SelectionPolicy(energy_weight=0.1, battery_aware=True)
+        )
+        # Within WiFi range both WiFi and LTE are candidates; WiFi is
+        # cheaper AND faster here, so use BT-vs-WiFi to create tension:
+        # BT cheaper but slower.
+        full = selector.select(
+            _msg(values=400), [WIFI, BLUETOOTH], battery_level=1.0,
+            distance_m=10.0,
+        )
+        empty = selector.select(
+            _msg(values=400), [WIFI, BLUETOOTH], battery_level=0.05,
+            distance_m=10.0,
+        )
+        assert full.link is WIFI  # latency-leaning at full charge
+        assert empty.link is BLUETOOTH  # energy dominates when draining
+
+    def test_no_link_available(self):
+        with pytest.raises(ValueError):
+            NetworkSelector().select(_msg(), [])
+
+    def test_no_link_in_range(self):
+        with pytest.raises(ValueError, match="covers"):
+            NetworkSelector().select(
+                _msg(), [BLUETOOTH], distance_m=100.0
+            )
+
+    def test_result_costs_match_link_model(self):
+        selector = NetworkSelector()
+        message = _msg()
+        result = selector.select(message, [WIFI], distance_m=1.0)
+        assert result.energy_mj == pytest.approx(
+            WIFI.transfer_energy_mj(message)
+        )
+        assert result.latency_s == pytest.approx(
+            WIFI.transfer_latency_s(message)
+        )

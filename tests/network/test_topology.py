@@ -1,0 +1,108 @@
+"""Tests for topology builders."""
+
+import pytest
+
+from repro.network.links import BLUETOOTH, WIFI
+from repro.network.topology import (
+    broker_load,
+    hierarchy_topology,
+    is_connected,
+    mesh_topology,
+    proximity_topology,
+    star_topology,
+)
+
+
+class TestStar:
+    def test_structure(self):
+        g = star_topology("broker", ["n1", "n2", "n3"])
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+        assert broker_load(g, "broker") == 3
+        assert broker_load(g, "n1") == 1
+
+    def test_centre_cannot_be_leaf(self):
+        with pytest.raises(ValueError):
+            star_topology("x", ["x"])
+
+    def test_connected(self):
+        assert is_connected(star_topology("b", ["n1", "n2"]))
+
+
+class TestMesh:
+    def test_all_pairs(self):
+        g = mesh_topology(["a", "b", "c", "d"])
+        assert g.number_of_edges() == 6
+
+    def test_empty(self):
+        assert is_connected(mesh_topology([]))
+
+
+class TestProximity:
+    def test_range_respected(self):
+        positions = {
+            "a": (0.0, 0.0),
+            "b": (10.0, 0.0),
+            "c": (500.0, 0.0),
+        }
+        g = proximity_topology(positions, BLUETOOTH)  # 20 m range
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "c")
+
+    def test_wifi_reaches_farther(self):
+        positions = {"a": (0.0, 0.0), "b": (60.0, 0.0)}
+        assert not proximity_topology(positions, BLUETOOTH).has_edge("a", "b")
+        assert proximity_topology(positions, WIFI).has_edge("a", "b")
+
+    def test_distances_annotated(self):
+        g = proximity_topology({"a": (0, 0), "b": (3, 4)}, WIFI)
+        assert g.edges["a", "b"]["distance"] == pytest.approx(5.0)
+
+
+class TestHierarchy:
+    def _build(self):
+        return hierarchy_topology(
+            cloud="cloud",
+            lc_heads=["lc0", "lc1"],
+            nc_brokers={"lc0": ["nc0", "nc1"], "lc1": ["nc2"]},
+            nodes={
+                "nc0": ["a", "b"],
+                "nc1": ["c"],
+                "nc2": ["d", "e", "f"],
+            },
+        )
+
+    def test_tiers(self):
+        g = self._build()
+        assert g.nodes["cloud"]["tier"] == 0
+        assert g.nodes["lc0"]["tier"] == 1
+        assert g.nodes["nc2"]["tier"] == 2
+        assert g.nodes["f"]["tier"] == 3
+
+    def test_tree_shape(self):
+        g = self._build()
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 11  # tree
+        assert is_connected(g)
+
+    def test_broker_load_bounded(self):
+        """The point of the hierarchy: no node has degree O(total)."""
+        g = self._build()
+        assert broker_load(g, "cloud") == 2
+        assert max(broker_load(g, n) for n in g) <= 3
+
+    def test_orphan_brokers_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchy_topology(
+                "cloud", ["lc0"], {"lcX": ["nc0"]}, {"nc0": ["a"]}
+            )
+
+    def test_orphan_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchy_topology(
+                "cloud", ["lc0"], {"lc0": ["nc0"]}, {"ncX": ["a"]}
+            )
+
+    def test_broker_load_unknown_address(self):
+        with pytest.raises(KeyError):
+            broker_load(self._build(), "ghost")

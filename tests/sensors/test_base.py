@@ -1,0 +1,115 @@
+"""Tests for sensor base abstractions: specs, readings, environment."""
+
+import numpy as np
+import pytest
+
+from repro.fields.field import SpatialField
+from repro.sensors.base import (
+    Environment,
+    NodeState,
+    Sensor,
+    SensorReading,
+    SensorSpec,
+)
+
+
+class ConstantSensor(Sensor):
+    """Test double: always observes the same true value."""
+
+    def __init__(self, value: float, spec: SensorSpec, rng=None):
+        super().__init__(spec, rng)
+        self._value = value
+
+    def _true_value(self, env, state, timestamp):
+        return self._value
+
+
+class TestSensorSpec:
+    def test_variance(self):
+        spec = SensorSpec("x", noise_std=3.0)
+        assert spec.variance == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorSpec("")
+        with pytest.raises(ValueError):
+            SensorSpec("x", noise_std=-1.0)
+        with pytest.raises(ValueError):
+            SensorSpec("x", max_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            SensorSpec("x", energy_per_sample_mj=-0.1)
+
+
+class TestSensorReading:
+    def test_rejects_nonfinite_timestamp(self):
+        with pytest.raises(ValueError):
+            SensorReading(sensor="x", timestamp=float("nan"), value=1.0)
+
+
+class TestSensorNoiseLayers:
+    def test_noiseless_returns_truth(self):
+        sensor = ConstantSensor(7.0, SensorSpec("x"))
+        reading = sensor.read(Environment(), NodeState(), 0.0)
+        assert reading.value == 7.0
+
+    def test_bias_applied(self):
+        sensor = ConstantSensor(7.0, SensorSpec("x", bias=1.5))
+        assert sensor.read(Environment(), NodeState(), 0.0).value == 8.5
+
+    def test_noise_statistics(self):
+        sensor = ConstantSensor(0.0, SensorSpec("x", noise_std=2.0), rng=0)
+        values = [
+            sensor.read(Environment(), NodeState(), float(t)).value
+            for t in range(500)
+        ]
+        assert 1.8 < np.std(values) < 2.2
+        assert abs(np.mean(values)) < 0.3
+
+    def test_quantisation(self):
+        sensor = ConstantSensor(7.3, SensorSpec("x", resolution=0.5))
+        assert sensor.read(Environment(), NodeState(), 0.0).value == 7.5
+
+    def test_energy_accounting(self):
+        spec = SensorSpec("x", energy_per_sample_mj=0.2)
+        sensor = ConstantSensor(0.0, spec)
+        env, state = Environment(), NodeState()
+        for t in range(5):
+            sensor.read(env, state, float(t))
+        assert sensor.samples_taken == 5
+        assert sensor.energy_spent_mj == pytest.approx(1.0)
+
+
+class TestEnvironment:
+    def test_field_value_nearest_cell(self):
+        grid = np.arange(12, dtype=float).reshape(3, 4)
+        env = Environment(fields={"temp": SpatialField(grid=grid)})
+        assert env.field_value("temp", 1.2, 2.4) == grid[2, 1]
+
+    def test_field_value_clamps_out_of_range(self):
+        grid = np.arange(4, dtype=float).reshape(2, 2)
+        env = Environment(fields={"t": SpatialField(grid=grid)})
+        assert env.field_value("t", -5.0, -5.0) == grid[0, 0]
+        assert env.field_value("t", 99.0, 99.0) == grid[1, 1]
+
+    def test_missing_field(self):
+        with pytest.raises(KeyError, match="no field"):
+            Environment().field_value("nope", 0, 0)
+
+    def test_is_indoor_without_map(self):
+        assert Environment().is_indoor(0, 0) is False
+
+    def test_is_indoor_with_map(self):
+        grid = np.zeros((2, 2))
+        grid[1, 1] = 1.0
+        env = Environment(indoor_map=SpatialField(grid=grid))
+        assert env.is_indoor(1, 1) is True
+        assert env.is_indoor(0, 0) is False
+
+
+class TestNodeState:
+    def test_position(self):
+        assert NodeState(x=2.0, y=3.0).position() == (2.0, 3.0)
+
+    def test_defaults(self):
+        state = NodeState()
+        assert state.mode == "idle" and not state.indoor

@@ -1,0 +1,129 @@
+"""Tests for sensor-fusion primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors.fusion import (
+    GRAVITY,
+    complementary_filter,
+    exponential_smoother,
+    heading_from_magnetometer,
+    moving_average,
+    tilt_from_gravity,
+)
+
+
+class TestTiltFromGravity:
+    def test_flat_device(self):
+        pitch, roll = tilt_from_gravity(0.0, 0.0, GRAVITY)
+        assert pitch == pytest.approx(0.0)
+        assert roll == pytest.approx(0.0)
+
+    def test_known_pitch(self):
+        angle = 0.4
+        ax = -GRAVITY * np.sin(angle)
+        az = GRAVITY * np.cos(angle)
+        pitch, roll = tilt_from_gravity(ax, 0.0, az)
+        assert pitch == pytest.approx(angle, abs=1e-9)
+        assert roll == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_roll(self):
+        angle = -0.3
+        ay = GRAVITY * np.sin(angle)
+        az = GRAVITY * np.cos(angle)
+        _, roll = tilt_from_gravity(0.0, ay, az)
+        assert roll == pytest.approx(angle, abs=1e-9)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            tilt_from_gravity(0.0, 0.0, 0.0)
+
+    @given(st.floats(min_value=-1.2, max_value=1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_pitch_roundtrip(self, angle):
+        ax = -GRAVITY * np.sin(angle)
+        az = GRAVITY * np.cos(angle)
+        pitch, _ = tilt_from_gravity(ax, 0.0, az)
+        assert pitch == pytest.approx(angle, abs=1e-8)
+
+
+class TestHeading:
+    @given(st.floats(min_value=0.0, max_value=2 * np.pi - 0.01))
+    @settings(max_examples=30, deadline=None)
+    def test_level_device_recovers_heading(self, theta):
+        mx, my = 50 * np.cos(theta), 50 * np.sin(theta)
+        heading = heading_from_magnetometer(mx, my, 0.0, 0.0, 0.0)
+        assert heading == pytest.approx(theta, abs=1e-8)
+
+    def test_declination_shift(self):
+        h0 = heading_from_magnetometer(50.0, 0.0, 0.0, 0.0, 0.0)
+        h1 = heading_from_magnetometer(
+            50.0, 0.0, 0.0, 0.0, 0.0, declination=0.5
+        )
+        assert (h1 - h0) % (2 * np.pi) == pytest.approx(0.5, abs=1e-9)
+
+    def test_result_in_range(self):
+        h = heading_from_magnetometer(-30.0, -40.0, 10.0, 0.2, -0.1)
+        assert 0.0 <= h < 2 * np.pi
+
+
+class TestComplementaryFilter:
+    def test_tracks_static_angle(self):
+        n = 200
+        accel = np.full(n, 0.7)
+        gyro = np.zeros(n)
+        theta = complementary_filter(gyro, accel, dt=0.01, alpha=0.95)
+        assert theta[-1] == pytest.approx(0.7, abs=1e-6)
+
+    def test_gyro_integration_dominates_transients(self):
+        n = 100
+        gyro = np.full(n, 1.0)  # steady rotation 1 rad/s
+        accel = np.zeros(n)  # accel says 0 (e.g. disturbed)
+        theta = complementary_filter(gyro, accel, dt=0.01, alpha=1.0)
+        assert theta[-1] == pytest.approx(0.99, abs=1e-9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            complementary_filter(np.zeros(3), np.zeros(4), dt=0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            complementary_filter(np.zeros(3), np.zeros(3), dt=0.0)
+        with pytest.raises(ValueError):
+            complementary_filter(np.zeros(3), np.zeros(3), dt=0.1, alpha=1.5)
+
+    def test_empty(self):
+        assert complementary_filter(np.zeros(0), np.zeros(0), 0.1).size == 0
+
+
+class TestSmoothers:
+    def test_moving_average_constant(self):
+        x = np.full(10, 3.0)
+        assert np.allclose(moving_average(x, 4), 3.0)
+
+    def test_moving_average_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(500)
+        assert moving_average(x, 10).std() < x.std() * 0.6
+
+    def test_moving_average_length_preserved(self):
+        assert moving_average(np.arange(7, dtype=float), 3).size == 7
+
+    def test_moving_average_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(3), 0)
+
+    def test_exponential_smoother_alpha_one_is_identity(self):
+        x = np.array([1.0, 5.0, -2.0])
+        assert np.array_equal(exponential_smoother(x, 1.0), x)
+
+    def test_exponential_smoother_converges_to_constant(self):
+        x = np.concatenate([[0.0], np.full(200, 4.0)])
+        y = exponential_smoother(x, 0.2)
+        assert y[-1] == pytest.approx(4.0, abs=1e-6)
+
+    def test_exponential_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            exponential_smoother(np.ones(3), 0.0)

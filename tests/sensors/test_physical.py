@@ -1,0 +1,145 @@
+"""Tests for the physical sensor models and the Fig.-4 signal generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import dct_basis
+from repro.core.sparsity import energy_sparsity
+from repro.fields.field import SpatialField
+from repro.fields.generators import indicator_field, urban_temperature_field
+from repro.sensors.base import Environment, NodeState
+from repro.sensors.physical import (
+    DEFAULT_SPECS,
+    AccelerometerSensor,
+    BarometerSensor,
+    GPSSensor,
+    LightSensor,
+    MicrophoneSensor,
+    TemperatureSensor,
+    WiFiSensor,
+    accelerometer_window,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment(
+        fields={"temperature": urban_temperature_field(16, 16, rng=0)},
+        indoor_map=indicator_field(16, 16, n_regions=3, rng=1),
+    )
+
+
+def _indoor_and_outdoor_cells(env):
+    grid = env.indoor_map.grid
+    indoor = np.argwhere(grid > 0.5)[0]
+    outdoor = np.argwhere(grid < 0.5)[0]
+    return (
+        NodeState(x=float(indoor[1]), y=float(indoor[0])),
+        NodeState(x=float(outdoor[1]), y=float(outdoor[0])),
+    )
+
+
+class TestFieldSensors:
+    def test_temperature_reads_field(self, env):
+        sensor = TemperatureSensor(rng=0)
+        state = NodeState(x=5, y=5)
+        truth = env.field_value("temperature", 5, 5)
+        readings = [sensor.read(env, state, t).value for t in range(50)]
+        assert abs(np.mean(readings) - truth) < 0.3
+
+    def test_barometer_default_pressure(self):
+        sensor = BarometerSensor(rng=0)
+        value = sensor.read(Environment(), NodeState(), 0.0).value
+        assert 1012 < value < 1015
+
+
+class TestIndoorSensitiveSensors:
+    def test_gps_degrades_indoors(self, env):
+        indoor, outdoor = _indoor_and_outdoor_cells(env)
+        gps = GPSSensor(rng=2)
+        err_in = np.mean([gps.read(env, indoor, t).value for t in range(20)])
+        err_out = np.mean([gps.read(env, outdoor, t).value for t in range(20)])
+        assert err_in > 5 * err_out
+
+    def test_wifi_count_rises_indoors(self, env):
+        indoor, outdoor = _indoor_and_outdoor_cells(env)
+        wifi = WiFiSensor(rng=3)
+        aps_in = np.mean([wifi.read(env, indoor, t).value for t in range(30)])
+        aps_out = np.mean([wifi.read(env, outdoor, t).value for t in range(30)])
+        assert aps_in > aps_out + 3
+
+    def test_light_attenuated_indoors(self, env):
+        indoor, outdoor = _indoor_and_outdoor_cells(env)
+        light = LightSensor(rng=4)
+        lux_in = light.read(env, indoor, 0.0).value
+        lux_out = light.read(env, outdoor, 0.0).value
+        assert lux_out > 5 * lux_in
+
+
+class TestMicrophone:
+    def test_driving_is_louder_than_idle(self):
+        mic = MicrophoneSensor(rng=5)
+        env = Environment()
+        idle = np.mean(
+            [mic.read(env, NodeState(mode="idle"), t).value for t in range(20)]
+        )
+        driving = np.mean(
+            [mic.read(env, NodeState(mode="driving"), t).value for t in range(20)]
+        )
+        assert driving > idle + 10
+
+
+class TestAccelerometerWindow:
+    @pytest.mark.parametrize("mode", ["idle", "walking", "driving"])
+    def test_window_length_and_determinism(self, mode):
+        a = accelerometer_window(mode, 128, rng=7)
+        b = accelerometer_window(mode, 128, rng=7)
+        assert a.shape == (128,)
+        assert np.array_equal(a, b)
+
+    def test_idle_is_quiet(self):
+        sig = accelerometer_window("idle", 256, rng=8)
+        assert np.sqrt(np.mean(sig**2)) < 0.1
+
+    def test_moving_modes_have_energy(self):
+        for mode in ("walking", "driving"):
+            sig = accelerometer_window(mode, 256, rng=9)
+            assert np.sqrt(np.mean(sig**2)) > 0.5
+
+    def test_windows_are_dct_compressible(self):
+        """The Fig. 4 premise: ~10 coefficients capture 95% of energy."""
+        phi = dct_basis(256)
+        for mode in ("walking", "driving"):
+            for seed in range(5):
+                sig = accelerometer_window(mode, 256, rng=seed)
+                k = energy_sparsity(phi.T @ sig, 0.95)
+                assert k <= 20, f"{mode} seed {seed} has K95={k}"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            accelerometer_window("flying", 128)
+
+    def test_invalid_length_and_rate(self):
+        with pytest.raises(ValueError):
+            accelerometer_window("idle", 0)
+        with pytest.raises(ValueError):
+            accelerometer_window("idle", 128, rate_hz=0)
+
+
+class TestAccelerometerSensor:
+    def test_idle_reads_near_zero(self):
+        acc = AccelerometerSensor(rng=10)
+        value = acc.read(Environment(), NodeState(mode="idle"), 0.25).value
+        assert abs(value) < 0.3
+
+
+class TestDefaultSpecs:
+    def test_gps_is_most_expensive(self):
+        gps_cost = DEFAULT_SPECS["gps"].energy_per_sample_mj
+        for name, spec in DEFAULT_SPECS.items():
+            if name != "gps":
+                assert spec.energy_per_sample_mj < gps_cost
+
+    def test_all_named_consistently(self):
+        for name, spec in DEFAULT_SPECS.items():
+            assert spec.name == name

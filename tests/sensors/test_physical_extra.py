@@ -1,0 +1,103 @@
+"""Additional physical-sensor tests: humidity, gyroscope, magnetometer,
+barometer-with-field, and sensor determinism guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.fields.field import SpatialField
+from repro.fields.generators import smooth_field
+from repro.sensors.base import Environment, NodeState
+from repro.sensors.physical import (
+    BarometerSensor,
+    GyroscopeSensor,
+    HumiditySensor,
+    MagnetometerSensor,
+    accelerometer_window,
+)
+
+
+class TestHumidity:
+    def test_reads_field(self):
+        humidity = smooth_field(8, 8, offset=50.0, amplitude=10.0, rng=0)
+        env = Environment(fields={"humidity": humidity})
+        sensor = HumiditySensor(rng=1)
+        state = NodeState(x=4, y=4)
+        truth = env.field_value("humidity", 4, 4)
+        readings = [sensor.read(env, state, t).value for t in range(60)]
+        assert abs(np.mean(readings) - truth) < 1.5
+
+    def test_requires_field(self):
+        sensor = HumiditySensor(rng=2)
+        with pytest.raises(KeyError):
+            sensor.read(Environment(), NodeState(), 0.0)
+
+
+class TestBarometerWithField:
+    def test_pressure_field_preferred_over_default(self):
+        pressure = SpatialField(grid=np.full((4, 4), 980.0))
+        env = Environment(fields={"pressure": pressure})
+        sensor = BarometerSensor(rng=3)
+        values = [sensor.read(env, NodeState(x=1, y=1), t).value for t in range(30)]
+        assert abs(np.mean(values) - 980.0) < 1.0
+
+
+class TestGyroscope:
+    def test_idle_is_still(self):
+        sensor = GyroscopeSensor(rng=4)
+        values = [
+            sensor.read(Environment(), NodeState(mode="idle"), t).value
+            for t in np.linspace(0, 10, 50)
+        ]
+        assert np.max(np.abs(values)) < 0.1
+
+    def test_walking_turns_more_than_driving(self):
+        env = Environment()
+        gyro = GyroscopeSensor(rng=5)
+        walk = [
+            gyro.read(env, NodeState(mode="walking"), t).value
+            for t in np.linspace(0, 10, 100)
+        ]
+        drive = [
+            gyro.read(env, NodeState(mode="driving"), t).value
+            for t in np.linspace(0, 10, 100)
+        ]
+        assert np.std(walk) > np.std(drive)
+
+
+class TestMagnetometer:
+    def test_heading_dependence(self):
+        env = Environment()
+        sensor = MagnetometerSensor(rng=6)
+        north = np.mean(
+            [sensor.read(env, NodeState(heading=0.0), t).value for t in range(30)]
+        )
+        east = np.mean(
+            [
+                sensor.read(env, NodeState(heading=np.pi / 2), t).value
+                for t in range(30)
+            ]
+        )
+        assert north == pytest.approx(MagnetometerSensor.EARTH_FIELD_UT, abs=1.0)
+        assert abs(east) < 1.0
+
+    def test_declination_shifts_reading(self):
+        plain = Environment()
+        shifted = Environment(magnetic_declination=np.pi / 2)
+        sensor = MagnetometerSensor(rng=7)
+        state = NodeState(heading=0.0)
+        a = np.mean([sensor.read(plain, state, t).value for t in range(30)])
+        b = np.mean([sensor.read(shifted, state, t).value for t in range(30)])
+        assert a > 40 and abs(b) < 2.0
+
+
+class TestWindowProperties:
+    def test_different_seeds_differ(self):
+        a = accelerometer_window("driving", 128, rng=0)
+        b = accelerometer_window("driving", 128, rng=1)
+        assert not np.allclose(a, b)
+
+    def test_rate_changes_spectrum_not_length(self):
+        slow = accelerometer_window("walking", 128, rate_hz=16.0, rng=2)
+        fast = accelerometer_window("walking", 128, rate_hz=64.0, rng=2)
+        assert slow.shape == fast.shape == (128,)
+        assert not np.allclose(slow, fast)

@@ -1,0 +1,135 @@
+"""Tests for configurable sensing probes (uniform vs compressive)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors.base import Environment, NodeState, SensorSpec
+from repro.sensors.physical import AccelerometerSensor, accelerometer_window
+from repro.sensors.probes import ProbeConfig, SensingProbe
+
+
+class TestProbeConfig:
+    def test_grid_and_sample_count_uniform(self):
+        cfg = ProbeConfig(rate_hz=32.0, duration_s=8.0)
+        assert cfg.grid_size == 256
+        assert cfg.sample_count == 256
+
+    def test_compressive_count(self):
+        cfg = ProbeConfig(
+            rate_hz=32.0, duration_s=8.0, mode="compressive", duty_cycle=0.125
+        )
+        assert cfg.sample_count == 32
+
+    @given(duty=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_sample_count_bounds(self, duty):
+        cfg = ProbeConfig(
+            rate_hz=10.0, duration_s=10.0, mode="compressive", duty_cycle=duty
+        )
+        assert 1 <= cfg.sample_count <= cfg.grid_size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeConfig(rate_hz=0, duration_s=1)
+        with pytest.raises(ValueError):
+            ProbeConfig(rate_hz=1, duration_s=0)
+        with pytest.raises(ValueError):
+            ProbeConfig(rate_hz=1, duration_s=1, mode="sparse")
+        with pytest.raises(ValueError):
+            ProbeConfig(rate_hz=1, duration_s=1, duty_cycle=0.0)
+
+
+class TestSensingProbe:
+    def test_rejects_rate_above_sensor_max(self):
+        sensor = AccelerometerSensor()
+        with pytest.raises(ValueError, match="at most"):
+            SensingProbe(sensor, ProbeConfig(rate_hz=500.0, duration_s=1.0))
+
+    def test_uniform_window_samples_all_instants(self):
+        sensor = AccelerometerSensor(rng=0)
+        probe = SensingProbe(sensor, ProbeConfig(rate_hz=16.0, duration_s=2.0))
+        series = probe.sample_window(Environment(), NodeState(), 0.0)
+        assert len(series) == 32
+        assert np.array_equal(series.grid_indices, np.arange(32))
+
+    def test_compressive_window_is_sparse_sorted_distinct(self):
+        sensor = AccelerometerSensor(rng=1)
+        probe = SensingProbe(
+            sensor,
+            ProbeConfig(
+                rate_hz=16.0, duration_s=2.0, mode="compressive",
+                duty_cycle=0.25, seed=3,
+            ),
+        )
+        series = probe.sample_window(Environment(), NodeState(), 0.0)
+        assert len(series) == 8
+        assert np.all(np.diff(series.grid_indices) > 0)
+
+    def test_timestamps_match_grid(self):
+        sensor = AccelerometerSensor(rng=2)
+        probe = SensingProbe(
+            sensor,
+            ProbeConfig(rate_hz=8.0, duration_s=1.0, mode="compressive",
+                        duty_cycle=0.5, seed=0),
+        )
+        series = probe.sample_window(Environment(), NodeState(), start_time=10.0)
+        assert np.allclose(
+            series.timestamps, 10.0 + series.grid_indices / 8.0
+        )
+
+    def test_energy_proportional_to_samples(self):
+        spec_cost = AccelerometerSensor().spec.energy_per_sample_mj
+        sensor = AccelerometerSensor(rng=3)
+        probe = SensingProbe(
+            sensor,
+            ProbeConfig(rate_hz=16.0, duration_s=4.0, mode="compressive",
+                        duty_cycle=0.25, seed=1),
+        )
+        series = probe.sample_window(Environment(), NodeState(), 0.0)
+        assert series.energy_mj == pytest.approx(len(series) * spec_cost)
+
+
+class TestSampleSignal:
+    def test_reads_given_signal_at_chosen_instants(self):
+        signal = accelerometer_window("driving", 64, rng=4)
+        quiet = AccelerometerSensor(
+            spec=SensorSpec("accelerometer", noise_std=0.0), rng=5
+        )
+        probe = SensingProbe(
+            quiet,
+            ProbeConfig(rate_hz=16.0, duration_s=4.0, mode="compressive",
+                        duty_cycle=0.5, seed=2),
+        )
+        series = probe.sample_signal(signal)
+        assert np.array_equal(series.values, signal[series.grid_indices])
+
+    def test_noise_added_when_configured(self):
+        signal = np.zeros(64)
+        noisy = AccelerometerSensor(
+            spec=SensorSpec("accelerometer", noise_std=1.0), rng=6
+        )
+        probe = SensingProbe(
+            noisy, ProbeConfig(rate_hz=16.0, duration_s=4.0)
+        )
+        series = probe.sample_signal(signal)
+        assert series.values.std() > 0.5
+
+    def test_length_mismatch(self):
+        probe = SensingProbe(
+            AccelerometerSensor(rng=7),
+            ProbeConfig(rate_hz=16.0, duration_s=4.0),
+        )
+        with pytest.raises(ValueError):
+            probe.sample_signal(np.zeros(100))
+
+    def test_sensor_sample_counter_advances(self):
+        sensor = AccelerometerSensor(rng=8)
+        probe = SensingProbe(
+            sensor,
+            ProbeConfig(rate_hz=16.0, duration_s=1.0, mode="compressive",
+                        duty_cycle=0.5, seed=0),
+        )
+        probe.sample_signal(np.zeros(16))
+        assert sensor.samples_taken == 8

@@ -1,0 +1,103 @@
+"""Tests for virtual (fused) sensors — Fig. 3's right-hand column."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.base import Environment, NodeState, SensorSpec
+from repro.sensors.physical import TemperatureSensor
+from repro.sensors.virtual import (
+    CompassSensor,
+    InclinometerSensor,
+    OrientationSensor,
+    VirtualSensor,
+)
+
+
+class TestCompass:
+    def test_recovers_heading(self):
+        env = Environment()
+        compass = CompassSensor(rng=0)
+        for heading in (0.1, 1.0, 2.5, 4.0):
+            state = NodeState(heading=heading, mode="idle")
+            values = [compass.read(env, state, t).value for t in range(10)]
+            assert np.mean(values) == pytest.approx(heading, abs=0.1)
+
+    def test_declination_included(self):
+        env = Environment(magnetic_declination=0.3)
+        compass = CompassSensor(rng=1)
+        state = NodeState(heading=1.0, mode="idle")
+        values = [compass.read(env, state, t).value for t in range(10)]
+        assert np.mean(values) == pytest.approx(1.3, abs=0.1)
+
+    def test_inputs_charged_for_sampling(self):
+        compass = CompassSensor(rng=2)
+        env, state = Environment(), NodeState()
+        before = compass.inputs[0].samples_taken
+        compass.read(env, state, 0.0)
+        assert compass.inputs[0].samples_taken == before + 1
+        assert compass.total_energy_mj > compass.energy_spent_mj
+
+
+class TestInclinometer:
+    def test_mode_specific_pitch(self):
+        env = Environment()
+        inclinometer = InclinometerSensor(rng=3)
+        idle = np.mean(
+            [
+                inclinometer.read(env, NodeState(mode="idle"), t).value
+                for t in range(20)
+            ]
+        )
+        walking = np.mean(
+            [
+                inclinometer.read(env, NodeState(mode="walking"), t).value
+                for t in range(20)
+            ]
+        )
+        assert abs(idle) < 0.05
+        assert walking == pytest.approx(0.6, abs=0.05)
+
+
+class TestOrientation:
+    def test_read_orientation_tuple(self):
+        env = Environment()
+        orientation = OrientationSensor(rng=4)
+        heading, pitch, roll = orientation.read_orientation(
+            env, NodeState(heading=2.0, mode="walking"), 0.0
+        )
+        assert heading == pytest.approx(2.0, abs=0.1)
+        assert pitch == pytest.approx(0.6, abs=0.05)
+        assert roll == pytest.approx(0.0, abs=0.05)
+
+    def test_heading_wraps(self):
+        env = Environment()
+        orientation = OrientationSensor(rng=5)
+        state = NodeState(heading=7.0)  # > 2*pi
+        value = orientation.read(env, state, 0.0).value
+        assert 0.0 <= value < 2 * np.pi + 0.1
+
+
+class TestVirtualSensorGeneric:
+    def test_custom_fusion_function(self):
+        """Build a 'heat index' virtual sensor from temperature."""
+        env = Environment(
+            fields={
+                "temperature": __import__(
+                    "repro.fields.generators", fromlist=["urban_temperature_field"]
+                ).urban_temperature_field(8, 8, rng=0)
+            }
+        )
+        thermometer = TemperatureSensor(rng=1)
+
+        def heat_index(e, s, t):
+            return e.field_value("temperature", s.x, s.y) * 1.1 + 2.0
+
+        virtual = VirtualSensor(
+            SensorSpec("heat-index", noise_std=0.0, energy_per_sample_mj=0.001),
+            heat_index,
+            inputs=[thermometer],
+        )
+        state = NodeState(x=3, y=3)
+        expected = env.field_value("temperature", 3, 3) * 1.1 + 2.0
+        assert virtual.read(env, state, 0.0).value == pytest.approx(expected)
+        assert thermometer.samples_taken == 1

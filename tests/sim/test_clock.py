@@ -1,0 +1,101 @@
+"""Tests for the discrete-event clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(5.0, lambda t: order.append(("b", t)))
+        clock.schedule(1.0, lambda t: order.append(("a", t)))
+        clock.run_until(10.0)
+        assert order == [("a", 1.0), ("b", 5.0)]
+
+    def test_ties_break_by_insertion(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(1.0, lambda t: order.append("first"))
+        clock.schedule(1.0, lambda t: order.append("second"))
+        clock.run_until(1.0)
+        assert order == ["first", "second"]
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimClock()
+        clock.schedule(5.0, lambda t: None)
+        clock.run_until(5.0)
+        with pytest.raises(ValueError):
+            clock.schedule(4.0, lambda t: None)
+
+    def test_schedule_in_relative(self):
+        clock = SimClock()
+        hits = []
+        clock.schedule(2.0, lambda t: clock.schedule_in(3.0, hits.append))
+        clock.run_until(10.0)
+        assert hits == [5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule_in(-1.0, lambda t: None)
+
+    def test_cancel(self):
+        clock = SimClock()
+        hits = []
+        event = clock.schedule(1.0, hits.append)
+        clock.cancel(event)
+        clock.run_until(2.0)
+        assert hits == []
+        assert clock.pending == 0
+
+
+class TestPeriodic:
+    def test_fires_on_period(self):
+        clock = SimClock()
+        hits = []
+        clock.schedule_periodic(2.0, hits.append, until=10.0)
+        clock.run_until(10.0)
+        assert hits == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_custom_start(self):
+        clock = SimClock()
+        hits = []
+        clock.schedule_periodic(5.0, hits.append, start=1.0, until=12.0)
+        clock.run_until(12.0)
+        assert hits == [1.0, 6.0, 11.0]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule_periodic(0.0, lambda t: None)
+
+
+class TestRunUntil:
+    def test_clock_lands_on_end_time(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda t: None)
+        clock.run_until(7.5)
+        assert clock.now == 7.5
+
+    def test_future_events_stay_queued(self):
+        clock = SimClock()
+        clock.schedule(10.0, lambda t: None)
+        executed = clock.run_until(5.0)
+        assert executed == 0
+        assert clock.pending == 1
+
+    def test_cannot_run_backwards(self):
+        clock = SimClock()
+        clock.run_until(5.0)
+        with pytest.raises(ValueError):
+            clock.run_until(4.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert SimClock().step() is False
+
+    def test_events_run_counter(self):
+        clock = SimClock()
+        for t in (1.0, 2.0, 3.0):
+            clock.schedule(t, lambda _: None)
+        clock.run_until(10.0)
+        assert clock.events_run == 3

@@ -1,0 +1,148 @@
+"""Tests for the simulation engine and scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.fields.temporal import ar1_evolution
+from repro.mobility.models import RandomWaypoint
+from repro.sim.engine import SimulationEngine
+from repro.sim.scenario import (
+    fire_scenario,
+    smart_building_scenario,
+    traffic_scenario,
+)
+
+
+class TestScenarios:
+    def test_fire_scenario_shape(self):
+        sc = fire_scenario(nodes_per_nc=24, rng=0)
+        assert sc.system.sensor_name == "fire_intensity"
+        assert sc.criticality is not None
+        # Criticality peaks at the front zone column.
+        front_col = int(0.4 * 4)
+        assert np.argmax(sc.criticality[0]) == front_col
+
+    def test_fire_round_works(self):
+        sc = fire_scenario(nodes_per_nc=24, rng=1)
+        estimate = sc.system.sense_field(adaptive=True, total_budget=160)
+        assert sc.system.estimate_error(estimate) < 0.6
+        assert estimate.total_measurements <= 160
+
+    def test_smart_building_scenario(self):
+        sc = smart_building_scenario(nodes_per_nc=24, rng=2)
+        assert "humidity" in sc.env.fields
+        assert sc.env.is_indoor(5, 5)  # fully indoor facility
+        sc.system.sense_field()
+        estimate = sc.system.sense_field()
+        assert sc.system.estimate_error(estimate) < 0.15
+
+    def test_traffic_scenario_bounded_field(self):
+        sc = traffic_scenario(nodes_per_nc=24, rng=3)
+        congestion = sc.truth
+        assert congestion.grid.min() >= 0.0
+        assert congestion.grid.max() <= 1.0
+
+
+class TestEngine:
+    def _engine(self, **kwargs):
+        sc = smart_building_scenario(
+            width=12, height=12, zones_x=2, zones_y=2, nodes_per_nc=20,
+            rng=4,
+        )
+        defaults = dict(
+            sensing_period_s=30.0,
+            context_period_s=60.0,
+            rng=5,
+        )
+        defaults.update(kwargs)
+        return sc, SimulationEngine(sc.system, **defaults)
+
+    def test_records_rounds(self):
+        sc, engine = self._engine()
+        result = engine.run(120.0)
+        assert len(result.rounds) == 4
+        assert result.duration_s == 120.0
+        assert np.isfinite(result.mean_error())
+
+    def test_context_accuracy_recorded(self):
+        sc, engine = self._engine()
+        result = engine.run(120.0)
+        assert len(result.context_accuracy) == 2
+        assert all(a > 0.8 for a in result.context_accuracy)
+
+    def test_energy_monotone_across_rounds(self):
+        sc, engine = self._engine()
+        result = engine.run(150.0)
+        energies = [
+            r.node_energy_cum_mj + r.radio_energy_cum_mj
+            for r in result.rounds
+        ]
+        assert all(b >= a for a, b in zip(energies, energies[1:]))
+        assert result.final_energy_mj() == energies[-1]
+
+    def test_mobility_moves_nodes(self):
+        sc, engine = self._engine(
+            mobility=RandomWaypoint(12, 12, pause_range=(0.0, 0.0), rng=6),
+            mobility_period_s=1.0,
+        )
+        before = {
+            node.node_id: node.state.position()
+            for lc in sc.system.hierarchy.localclouds.values()
+            for nc in lc.nanoclouds
+            for node in nc.nodes.values()
+        }
+        engine.run(60.0)
+        moved = 0
+        for lc in sc.system.hierarchy.localclouds.values():
+            for nc in lc.nanoclouds:
+                for node in nc.nodes.values():
+                    if node.state.position() != before[node.node_id]:
+                        moved += 1
+        assert moved > 0
+
+    def test_field_evolution_changes_truth(self):
+        sc, engine = self._engine(
+            field_step=ar1_evolution(rho=0.9, innovation_std=0.5),
+            field_period_s=10.0,
+        )
+        before = sc.truth.grid.copy()
+        engine.run(60.0)
+        after = sc.system.env.fields[sc.system.sensor_name].grid
+        assert not np.allclose(before, after)
+
+    def test_validation(self):
+        sc, engine = self._engine()
+        with pytest.raises(ValueError):
+            engine.run(0.0)
+        with pytest.raises(ValueError):
+            SimulationEngine(sc.system, sensing_period_s=0.0)
+
+
+class TestEarthquakeScenario:
+    def test_flag_field_reconstruction_quality(self):
+        from repro.sim.scenario import earthquake_scenario
+
+        sc = earthquake_scenario(rng=31)
+        sc.system.sense_field()
+        estimate = sc.system.sense_field()
+        danger = (estimate.field.grid > 0.5).astype(float)
+        accuracy = float(np.mean(danger == sc.truth.grid))
+        assert accuracy > 0.85
+        assert estimate.total_measurements < sc.truth.n
+
+    def test_criticality_follows_building_density(self):
+        from repro.sim.scenario import earthquake_scenario
+
+        sc = earthquake_scenario(rng=31)
+        zone_grid = sc.system.hierarchy.zone_grid
+        densities = []
+        for zone in zone_grid:
+            block = sc.truth.grid[
+                zone.y0 : zone.y0 + zone.height,
+                zone.x0 : zone.x0 + zone.width,
+            ]
+            densities.append(float(block.mean()))
+        crits = [z.criticality for z in zone_grid]
+        # Criticality ordering matches occupancy ordering.
+        assert np.argmax(crits) == np.argmax(densities)
+        assert np.argmin(crits) == np.argmin(densities)

@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples must run cleanly end to end.
+
+Only the fast examples run here (the full set is exercised manually /
+in docs); each is executed as a real subprocess so import paths, CLI
+behaviour and output all get checked the way a user would hit them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "health_group.py",
+    "spacetime_window.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py",
+        "fire_response.py",
+        "smart_building.py",
+        "health_group.py",
+        "traffic_sensing.py",
+        "spacetime_window.py",
+        "earthquake_response.py",
+    }
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= present

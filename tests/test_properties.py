@@ -1,0 +1,188 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants.
+
+Each property here spans a subsystem boundary or states an invariant the
+unit tests only probe pointwise.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import dct2_basis, dct_basis
+from repro.core.reconstruction import reconstruct
+from repro.core.sampling import random_locations
+from repro.energy.accounting import EnergyLedger
+from repro.fields.coverage import spatial_coverage
+from repro.fields.field import SpatialField
+from repro.fields.zones import ZoneGrid
+from repro.middleware.incentives import Bid, ReverseAuction
+from repro.network.bus import MessageBus
+from repro.network.message import Message, MessageKind
+
+
+class TestReconstructionProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_full_sampling_recovers_exactly(self, seed):
+        """With M = N (every cell measured, noiseless) sparse recovery
+        must reproduce the signal everywhere — the fully-determined
+        system leaves no room for interpolation error."""
+        rng = np.random.default_rng(seed)
+        n = 48
+        phi = dct_basis(n)
+        alpha = np.zeros(n)
+        alpha[rng.choice(12, 4, replace=False)] = rng.uniform(1, 3, 4)
+        x = phi @ alpha
+        loc = np.arange(n)
+        result = reconstruct(x[loc], loc, phi, solver="omp", sparsity=4)
+        assert np.allclose(result.x_hat, x, atol=1e-8)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_centering_invariant_to_constant_offsets(self, seed):
+        """Shifting the field by a constant shifts the centered
+        reconstruction by the same constant (no interaction with the
+        sparse part)."""
+        rng = np.random.default_rng(seed)
+        n = 64
+        phi = dct2_basis(8, 8)
+        alpha = np.zeros(n)
+        alpha[rng.choice(10, 3, replace=False) + 1] = rng.uniform(1, 2, 3)
+        x = phi @ alpha
+        loc = random_locations(n, 32, rng)
+        base = reconstruct(
+            x[loc], loc, phi, solver="chs", sparsity=6, center=True
+        )
+        offset = 37.5
+        shifted = reconstruct(
+            x[loc] + offset, loc, phi, solver="chs", sparsity=6, center=True
+        )
+        assert np.allclose(shifted.x_hat, base.x_hat + offset, atol=1e-6)
+
+
+class TestZoneProperties:
+    @given(
+        zx=st.sampled_from([1, 2, 4]),
+        zy=st.sampled_from([1, 2]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_extract_assemble_identity(self, zx, zy, seed):
+        rng = np.random.default_rng(seed)
+        field = SpatialField(grid=rng.standard_normal((8, 16)))
+        zg = ZoneGrid(16, 8, zx, zy)
+        subs = {z.zone_id: zg.extract(field, z) for z in zg}
+        assert np.array_equal(zg.assemble(subs).grid, field.grid)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_zone_index_mapping_consistent(self, seed):
+        """A zone-local vector index maps to the global cell holding the
+        same value."""
+        rng = np.random.default_rng(seed)
+        field = SpatialField(grid=rng.standard_normal((8, 16)))
+        zg = ZoneGrid(16, 8, 4, 2)
+        zone = zg.zones[int(rng.integers(len(zg)))]
+        sub = zg.extract(field, zone)
+        k_local = int(rng.integers(zone.n))
+        k_global = zone.local_to_global(k_local, parent_height=8)
+        assert sub.vector()[k_local] == field.vector()[k_global]
+
+
+class TestCoverageProperties:
+    @given(
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_coverage_monotone_in_samples(self, data):
+        n = 32
+        small = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=8,
+                unique=True,
+            )
+        )
+        extra = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=0,
+                max_size=8,
+                unique=True,
+            )
+        )
+        larger = sorted(set(small) | set(extra))
+        assert spatial_coverage(np.array(larger), n) >= spatial_coverage(
+            np.array(small), n
+        )
+
+
+class TestBusProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=100),
+        loss=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_delivered_plus_lost(self, count, loss, seed):
+        bus = MessageBus(loss_rate=loss, seed=seed)
+        bus.register("a")
+        bus.register("b")
+        for _ in range(count):
+            bus.send(
+                Message(
+                    kind=MessageKind.SENSE_REPORT,
+                    source="a",
+                    destination="b",
+                )
+            )
+        assert bus.endpoint("b").pending() + bus.messages_lost == count
+        # Sender always pays; total metered messages equals sends.
+        assert bus.stats.messages == count
+
+
+class TestLedgerProperties:
+    @given(
+        amounts=st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_sum(self, amounts):
+        separate = [EnergyLedger(node_id=f"n{i}") for i in range(len(amounts))]
+        for ledger, amount in zip(separate, amounts):
+            ledger.post("sensing", amount)
+        rollup = EnergyLedger(node_id="all")
+        for ledger in separate:
+            rollup.merge(ledger)
+        assert rollup.total_mj() == sum(amounts)
+
+
+class TestAuctionProperties:
+    @given(
+        prices=st.lists(
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=2,
+            max_size=12,
+        ),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reverse_auction_invariants(self, prices, k):
+        auction = ReverseAuction(credit_per_loss=0.5)
+        bids = [Bid(f"n{i}", p) for i, p in enumerate(prices)]
+        result = auction.run_round(bids, k=k)
+        # Exactly min(k, len) winners, each paid their own bid.
+        assert len(result.winners) == min(k, len(bids))
+        for bid in bids:
+            if bid.node_id in result.winners:
+                assert result.payments[bid.node_id] == bid.price
+        # Winners' credits reset; losers' grew.
+        for bid in bids:
+            if bid.node_id in result.winners:
+                assert auction.credits[bid.node_id] == 0.0
+            else:
+                assert auction.credits[bid.node_id] > 0.0

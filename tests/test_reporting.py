@@ -1,0 +1,68 @@
+"""Tests for the reproduction-report assembler."""
+
+import pytest
+
+from repro.reporting import (
+    EXPERIMENT_ORDER,
+    assemble_report,
+    main,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "CLM-MKN.txt").write_text("== CLM-MKN: phase transition ==\nrow\n")
+    (d / "FIG4.txt").write_text("== FIG4: error vs M ==\nrow\n")
+    (d / "ZZZ-CUSTOM.txt").write_text("== ZZZ: custom ==\nrow\n")
+    return d
+
+
+class TestAssemble:
+    def test_sections_in_canonical_order(self, results_dir):
+        report = assemble_report(results_dir)
+        fig4 = report.index("## FIG4")
+        mkn = report.index("## CLM-MKN")
+        custom = report.index("## ZZZ-CUSTOM")
+        assert fig4 < mkn < custom  # FIG4 before CLM-MKN; unknown last
+
+    def test_contents_embedded(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "phase transition" in report
+        assert report.startswith("# SenseDroid reproduction report")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            assemble_report(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError, match="harness"):
+            assemble_report(empty)
+
+    def test_order_covers_all_bench_ids(self):
+        # Every bench's record_series id should be in the canonical list
+        # (unknown ids still render, but ordered ones read better).
+        assert "FIG4" in EXPERIMENT_ORDER
+        assert "ABL-POS" in EXPERIMENT_ORDER
+        assert len(EXPERIMENT_ORDER) == len(set(EXPERIMENT_ORDER))
+
+
+class TestWriteAndMain:
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "REPORT.md")
+        assert out.exists()
+        assert "FIG4" in out.read_text()
+
+    def test_main_success(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "R.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_failure(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing"), "R.md"]) == 1
+        assert "error" in capsys.readouterr().err

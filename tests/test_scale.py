@@ -1,0 +1,73 @@
+"""Scale and reproducibility system tests.
+
+The paper's pitch is scalability; these tests pin down that (a) a
+2048-phone deployment builds and senses in well under a second of
+wall-clock per round, and (b) the entire stochastic pipeline is
+bit-reproducible from its seeds.
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    Environment,
+    HierarchyConfig,
+    SenseDroid,
+    urban_temperature_field,
+)
+
+
+def _build(seed=42):
+    truth = urban_temperature_field(64, 32, n_heat_islands=5, rng=3)
+    env = Environment(fields={"temperature": truth})
+    return truth, SenseDroid(
+        env,
+        hierarchy_config=HierarchyConfig(
+            zones_x=8, zones_y=4, nodes_per_nanocloud=64
+        ),
+        rng=seed,
+    )
+
+
+class TestScale:
+    def test_two_thousand_node_deployment(self):
+        truth, system = _build()
+        assert system.hierarchy.n_nodes == 2048
+        start = time.perf_counter()
+        system.sense_field()
+        estimate = system.sense_field()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # generous CI bound; ~0.2 s locally
+        assert system.estimate_error(estimate) < 0.05
+        # Compression is real at scale.
+        assert estimate.total_measurements < 0.6 * truth.n
+
+    def test_busiest_endpoint_stays_bounded(self):
+        _, system = _build()
+        system.sense_field()
+        system.sense_field()
+        busiest = max(
+            system.hierarchy.bus.endpoint(a).stats.messages
+            for a in system.hierarchy.bus.addresses
+        )
+        # 32 zone brokers, 2048 nodes: no endpoint near O(total traffic).
+        assert busiest < system.hierarchy.bus.stats.messages / 8
+
+
+class TestReproducibility:
+    def test_identical_seeds_identical_estimates(self):
+        _, a = _build(seed=7)
+        _, b = _build(seed=7)
+        est_a = a.sense_field()
+        est_b = b.sense_field()
+        assert np.array_equal(est_a.field.grid, est_b.field.grid)
+        assert est_a.total_measurements == est_b.total_measurements
+        assert a.hierarchy.bus.stats.messages == b.hierarchy.bus.stats.messages
+
+    def test_different_seeds_differ(self):
+        _, a = _build(seed=7)
+        _, b = _build(seed=8)
+        est_a = a.sense_field()
+        est_b = b.sense_field()
+        assert not np.array_equal(est_a.field.grid, est_b.field.grid)
