@@ -2,13 +2,16 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples clean
+.PHONY: install test lint bench report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	ruff check src tests
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -42,7 +42,14 @@ __all__ = ["ZoneEstimate", "Broker"]
 
 @dataclass
 class ZoneEstimate:
-    """One aggregation round's output for a zone."""
+    """One aggregation round's output for a zone.
+
+    Beyond the reconstruction itself, the estimate carries round-quality
+    telemetry: how many command/report legs the channel ate, how many
+    retries the broker paid for, and how far the realised measurement
+    count fell short of the plan — the "health record" consumers use to
+    weight a degraded round's field appropriately.
+    """
 
     field: SpatialField
     reconstruction: Reconstruction
@@ -52,10 +59,27 @@ class ZoneEstimate:
     reports_refused: int
     infra_reads: int
     sparsity_estimate: int
+    commands_lost: int = 0
+    reports_lost: int = 0
+    retries_used: int = 0
+    planned_m: int = 0
+    degraded: bool = False
 
     @property
     def m(self) -> int:
         return self.plan.m
+
+    @property
+    def effective_m(self) -> int:
+        """Measurements actually realised (== rows of Phi used)."""
+        return self.plan.m
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Realised over planned measurements (1.0 = nothing lost)."""
+        if self.planned_m <= 0:
+            return 1.0
+        return self.plan.m / self.planned_m
 
     @property
     def compression_ratio(self) -> float:
@@ -69,6 +93,17 @@ class _Collected:
     locations: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
     noise_stds: list[float] = field(default_factory=list)
+
+
+@dataclass
+class _RoundTelemetry:
+    """Transport-level accounting for one round's exchanges."""
+
+    commands_lost: int = 0
+    reports_lost: int = 0
+    retries_used: int = 0
+    refused: int = 0
+    infra_reads: int = 0
 
 
 class Broker:
@@ -300,27 +335,53 @@ class Broker:
         bus: MessageBus,
         env: Environment,
         timestamp: float,
+        telemetry: _RoundTelemetry | None = None,
     ) -> dict | None:
-        """One command/telemetry exchange with a member node."""
-        command = Message(
-            kind=MessageKind.SENSE_COMMAND,
-            source=self.broker_id,
-            destination=node.node_id,
-            payload={"sensor": self.sensor_name, "grid_index": grid_index},
-            payload_values=2,
-            timestamp=timestamp,
-        )
-        bus.send(command)
-        # Drain the node's inbox so the command is consumed in order.
-        for message in bus.endpoint(node.node_id).drain():
-            if message.message_id == command.message_id:
-                node.handle_command(message, env, bus)
-        for message in bus.endpoint(self.broker_id).drain():
-            if (
-                message.kind is MessageKind.SENSE_REPORT
-                and message.source == node.node_id
-            ):
-                return message.payload
+        """Command/telemetry exchange with a member node, with retries.
+
+        Returns the report payload, or ``None`` when every attempt
+        failed — command lost, report lost, or the node churned off the
+        bus entirely (the drop-and-count ``strict=False`` path).  Each
+        retry re-transmits after a capped exponential backoff in
+        *simulated* time (the retry command's timestamp advances), and
+        is metered through the link model like any other message, so the
+        energy ledgers price reliability honestly.
+        """
+        if telemetry is None:
+            telemetry = _RoundTelemetry()
+        backoff = self.config.retry_backoff_s
+        attempt_time = timestamp
+        for attempt in range(self.config.command_retries + 1):
+            if attempt:
+                telemetry.retries_used += 1
+                attempt_time += backoff * 2 ** min(attempt - 1, 5)
+            command = Message(
+                kind=MessageKind.SENSE_COMMAND,
+                source=self.broker_id,
+                destination=node.node_id,
+                payload={
+                    "sensor": self.sensor_name,
+                    "grid_index": grid_index,
+                },
+                payload_values=2,
+                timestamp=attempt_time,
+            )
+            if not bus.send(command, strict=False):
+                telemetry.commands_lost += 1
+                continue
+            # Drain the node's inbox so the command is consumed in order.
+            for message in bus.endpoint(node.node_id).drain():
+                if message.message_id == command.message_id:
+                    node.handle_command(message, env, bus)
+            for message in bus.endpoint(self.broker_id).drain():
+                if (
+                    message.kind is MessageKind.SENSE_REPORT
+                    and message.source == node.node_id
+                ):
+                    return message.payload
+            # The command arrived (the node sensed and replied), but the
+            # report leg never made it back.
+            telemetry.reports_lost += 1
         return None
 
     def _read_infrastructure(
@@ -333,6 +394,65 @@ class Broker:
         reading = sensor.read(env, state, timestamp)
         self.ledger.post("sensing", sensor.spec.energy_per_sample_mj)
         return reading.value, sensor.spec.noise_std
+
+    def _collect_cell(
+        self,
+        cell: int,
+        members_by_cell: dict[int, list[str]],
+        nodes: dict[str, MobileNode],
+        bus: MessageBus,
+        env: Environment,
+        timestamp: float,
+        collected: _Collected,
+        telemetry: _RoundTelemetry,
+    ) -> bool:
+        """Try to realise one planned measurement at ``cell``.
+
+        Commands candidate nodes in rotation order, falls back to an
+        infrastructure sensor, and appends the result to ``collected``.
+        Returns True when the cell produced a value.
+        """
+        value: float | None = None
+        noise_std: float | None = None
+        cell_values: list[float] = []
+        cell_stds: list[float] = []
+        for node_id in self._cell_order(cell, members_by_cell, nodes):
+            node = nodes.get(node_id)
+            if node is None:
+                continue
+            payload = self._command_node(
+                node, cell, bus, env, timestamp, telemetry
+            )
+            if payload and payload.get("ok"):
+                cell_values.append(float(payload["value"]))
+                cell_stds.append(float(payload.get("noise_std", 0.0)))
+                if self.config.suppress_redundant:
+                    # Aquiba-style suppression [25]: one answer per
+                    # cell is enough; spare the co-located phones.
+                    break
+            elif payload is not None:
+                # An explicit refusal (privacy / missing sensor); lost
+                # exchanges are already counted in the telemetry.
+                telemetry.refused += 1
+        if cell_values:
+            # Multiple (unsuppressed) co-located reports average to
+            # a lower-noise virtual reading: std scales as 1/sqrt(r).
+            value = float(np.mean(cell_values))
+            noise_std = float(
+                np.sqrt(np.mean(np.square(cell_stds)))
+                / np.sqrt(len(cell_stds))
+            )
+        if value is None and cell in self.infrastructure:
+            value, noise_std = self._read_infrastructure(
+                cell, env, timestamp
+            )
+            telemetry.infra_reads += 1
+        if value is None:
+            return False
+        collected.locations.append(cell)
+        collected.values.append(value)
+        collected.noise_stds.append(noise_std or 0.0)
+        return True
 
     # -- the aggregation round -------------------------------------------
 
@@ -380,41 +500,44 @@ class Broker:
             members_by_cell.setdefault(cell, []).append(node_id)
 
         collected = _Collected()
-        refused = 0
-        infra_reads = 0
+        telemetry = _RoundTelemetry()
+        planned_m = plan.m
         for cell in plan.locations.tolist():
-            value = None
-            noise_std = None
-            cell_values: list[float] = []
-            cell_stds: list[float] = []
-            for node_id in self._cell_order(cell, members_by_cell, nodes):
-                node = nodes.get(node_id)
-                if node is None:
-                    continue
-                payload = self._command_node(node, cell, bus, env, timestamp)
-                if payload and payload.get("ok"):
-                    cell_values.append(float(payload["value"]))
-                    cell_stds.append(float(payload.get("noise_std", 0.0)))
-                    if self.config.suppress_redundant:
-                        # Aquiba-style suppression [25]: one answer per
-                        # cell is enough; spare the co-located phones.
-                        break
-                else:
-                    refused += 1
-            if cell_values:
-                # Multiple (unsuppressed) co-located reports average to
-                # a lower-noise virtual reading: std scales as 1/sqrt(r).
-                value = float(np.mean(cell_values))
-                noise_std = float(
-                    np.sqrt(np.mean(np.square(cell_stds)))
-                    / np.sqrt(len(cell_stds))
+            self._collect_cell(
+                cell, members_by_cell, nodes, bus, env, timestamp,
+                collected, telemetry,
+            )
+
+        if (
+            self.config.topup_resampling
+            and len(collected.locations) < planned_m
+        ):
+            # Replacement sampling: a lost report is just a dropped row
+            # of Phi — draw substitute cells from the uncommanded
+            # coverage until the effective M is back near the plan (or
+            # the coverage runs out).
+            attempted = set(plan.locations.tolist())
+            spare = np.array(
+                [c for c in candidates.tolist() if c not in attempted],
+                dtype=int,
+            )
+            for idx in self._rng.permutation(spare.size):
+                if len(collected.locations) >= planned_m:
+                    break
+                self._collect_cell(
+                    int(spare[idx]), members_by_cell, nodes, bus, env,
+                    timestamp, collected, telemetry,
                 )
-            if value is None and cell in self.infrastructure:
+
+        if not collected.locations and self.infrastructure:
+            # Last-ditch graceful degradation: the whole crowd is dark
+            # (total loss, partition, mass churn) but the zone still
+            # owns fixed sensors — read them all rather than abort.
+            for cell in sorted(self.infrastructure):
                 value, noise_std = self._read_infrastructure(
                     cell, env, timestamp
                 )
-                infra_reads += 1
-            if value is not None:
+                telemetry.infra_reads += 1
                 collected.locations.append(cell)
                 collected.values.append(value)
                 collected.noise_stds.append(noise_std or 0.0)
@@ -422,8 +545,13 @@ class Broker:
         if not collected.locations:
             raise RuntimeError(
                 f"broker {self.broker_id} collected no measurements "
-                f"(all {plan.m} commands refused and no infrastructure)"
+                f"from {plan.m} commanded cells ({telemetry.refused} "
+                f"refused, {telemetry.commands_lost} commands and "
+                f"{telemetry.reports_lost} reports lost) and no "
+                "infrastructure"
             )
+        refused = telemetry.refused
+        infra_reads = telemetry.infra_reads
 
         locations = np.asarray(collected.locations, dtype=int)
         values = np.asarray(collected.values, dtype=float)
@@ -433,12 +561,16 @@ class Broker:
             covariance = np.diag(stds**2)
 
         phi = self._basis()
+        # A badly degraded round can realise fewer measurements than the
+        # nominal sparsity; a solver can never recover more coefficients
+        # than it has rows, so clamp instead of crashing.
+        solver_sparsity = max(min(max(k_est, 4), values.size), 1)
         if self.prior is not None and self.config.use_prior_basis:
             centered = self.prior.center(values, locations)
             result = reconstruct(
                 centered, locations, phi,
                 solver=self.config.solver,
-                sparsity=max(k_est, 4),
+                sparsity=solver_sparsity,
                 covariance=covariance,
             )
             x_hat = self.prior.uncenter(result.x_hat)
@@ -446,7 +578,7 @@ class Broker:
             result = reconstruct(
                 values, locations, phi,
                 solver=self.config.solver,
-                sparsity=max(k_est, 4),
+                sparsity=solver_sparsity,
                 covariance=covariance,
                 center=True,  # physical fields: baseline + sparse variation
             )
@@ -489,6 +621,11 @@ class Broker:
         if len(self._history) > self.history_limit:
             self._history.pop(0)
         actual_plan = MeasurementPlan(n=self.n, locations=locations)
+        degraded = (
+            telemetry.commands_lost > 0
+            or telemetry.reports_lost > 0
+            or actual_plan.m < planned_m
+        )
         return ZoneEstimate(
             field=zone_field,
             reconstruction=result,
@@ -498,6 +635,11 @@ class Broker:
             reports_refused=refused,
             infra_reads=infra_reads,
             sparsity_estimate=k_est,
+            commands_lost=telemetry.commands_lost,
+            reports_lost=telemetry.reports_lost,
+            retries_used=telemetry.retries_used,
+            planned_m=planned_m,
+            degraded=degraded,
         )
 
     # -- context aggregation ----------------------------------------------
@@ -533,10 +675,12 @@ class Broker:
         timestamp: float,
     ) -> int:
         """Push collective information back to all members (the downlink
-        of the paper's bidirectional NanoCloud)."""
+        of the paper's bidirectional NanoCloud).  Returns the number of
+        members actually reached; churned or unreachable members are
+        dropped and counted by the bus, never raised."""
         sent = 0
         for node_id in sorted(self.members):
-            bus.send(
+            delivered = bus.send(
                 Message(
                     kind=MessageKind.DISSEMINATE,
                     source=self.broker_id,
@@ -544,7 +688,9 @@ class Broker:
                     payload=payload,
                     payload_values=payload_values,
                     timestamp=timestamp,
-                )
+                ),
+                strict=False,
             )
-            sent += 1
+            if delivered:
+                sent += 1
         return sent

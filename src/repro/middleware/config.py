@@ -91,6 +91,20 @@ class BrokerConfig:
     # largest spatial gap (Chebyshev cells to the nearest sample)
     # exceeds this bound — random draws occasionally cluster badly.
     max_coverage_gap: float | None = None
+    # Reliable command/report exchange over a lossy channel: how many
+    # times to re-command a node that yielded no report before giving
+    # up on it.  0 keeps the seed's fire-and-forget behaviour.  Every
+    # retry is a real transmission metered through the link model —
+    # persistence has an honest radio-energy price.
+    command_retries: int = 0
+    # Base backoff between retries in *simulated* seconds; attempt i
+    # waits retry_backoff_s * 2**(i-1), capped at 32x the base.
+    retry_backoff_s: float = 0.5
+    # When a planned cell yields nothing (loss, churn, refusal and no
+    # infrastructure), draw replacement cells from the uncommanded
+    # coverage so the effective M stays near the planned M — a dropped
+    # row of Phi is replaced instead of mourned.
+    topup_resampling: bool = False
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -100,6 +114,10 @@ class BrokerConfig:
             raise ValueError(f"unknown solver {self.solver!r}")
         if self.max_coverage_gap is not None and self.max_coverage_gap < 0:
             raise ValueError("max_coverage_gap must be non-negative")
+        if self.command_retries < 0:
+            raise ValueError("command_retries must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
 
 
 @dataclass(frozen=True)

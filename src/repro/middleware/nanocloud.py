@@ -247,13 +247,97 @@ class NanoCloud:
             j = int(np.clip(round(node.state.y - oy), 0, zb.zone_height - 1))
             zb.members[node_id] = i * zb.zone_height + j
 
+    # -- broker failover ----------------------------------------------
+
+    def heartbeat(self, timestamp: float = 0.0) -> bool:
+        """Probe broker liveness against the bus's crash schedule.
+
+        Returns True when the broker is (still) alive.  When the broker
+        is crash-scheduled down at ``timestamp``, the NanoCloud fails
+        over on the spot — the healthiest live member is promoted to
+        acting broker — and the heartbeat reports False so callers can
+        log the transition.  Without a fault injector there is nothing
+        to probe and the broker is assumed alive.
+        """
+        injector = self.bus.fault_injector
+        if injector is None or not injector.is_down(
+            self.broker.broker_id, timestamp
+        ):
+            return True
+        self.promote_broker(timestamp)
+        return False
+
+    def promote_broker(self, timestamp: float = 0.0) -> str:
+        """Promote the healthiest live member to acting broker.
+
+        Health order: fullest battery first, node id as the
+        deterministic tie-break.  The acting broker inherits the zone
+        geometry and config, the membership table, the infrastructure
+        sensors, the learned prior, the sparsity adaptation state and
+        the reconstruction history — rounds continue as if nothing
+        happened, minus the promoted phone's own cell coverage.
+        Returns the new broker id.
+        """
+        injector = self.bus.fault_injector
+        candidates = [
+            node_id
+            for node_id in self.nodes
+            if injector is None
+            or not injector.is_down(node_id, timestamp)
+        ]
+        if not candidates:
+            raise RuntimeError(
+                f"NanoCloud of {self.broker.broker_id} has no live "
+                "member to promote"
+            )
+
+        def health(node_id: str) -> tuple[float, str]:
+            battery = self.nodes[node_id].ledger.battery
+            level = battery.level if battery is not None else 1.0
+            return (-level, node_id)
+
+        new_id = min(candidates, key=health)
+        old = self.broker
+        self.nodes.pop(new_id)  # the phone stops sensing; it coordinates
+        acting = Broker(
+            broker_id=new_id,
+            zone_width=old.zone_width,
+            zone_height=old.zone_height,
+            sensor_name=old.sensor_name,
+            config=old.config,
+            criticality=old.criticality,
+        )
+        acting.members = {
+            node_id: cell
+            for node_id, cell in old.members.items()
+            if node_id != new_id
+        }
+        acting.infrastructure = dict(old.infrastructure)
+        acting.last_sparsity = old.last_sparsity
+        acting._history = list(old._history)
+        acting._rounds_run = old._rounds_run
+        # Hand over the sampling stream so the promoted broker's plans
+        # continue the deployment's reproducible draw sequence.
+        acting._rng = old._rng
+        if old.prior is not None:
+            acting.set_prior(old.prior)
+        self.bus.register(new_id)  # idempotent: it was a node endpoint
+        self.broker = acting
+        return new_id
+
     def run_round(
         self,
         env: Environment,
         timestamp: float = 0.0,
         measurements: int | None = None,
     ) -> ZoneEstimate:
-        """One compressive aggregation round over this NanoCloud."""
+        """One compressive aggregation round over this NanoCloud.
+
+        The round starts with a heartbeat: a crash-scheduled broker is
+        replaced by an acting broker before any command goes out, so
+        churn at the coordinator never aborts sensing.
+        """
+        self.heartbeat(timestamp)
         self.refresh_membership()
         return self.broker.run_round(
             self.bus, self.nodes, env, timestamp, measurements=measurements

@@ -3,6 +3,15 @@ topologies and service discovery."""
 
 from .bus import Endpoint, MessageBus, TrafficStats
 from .discovery import DiscoveryRegistry, ServiceAnnouncement
+from .faults import (
+    CrashSchedule,
+    DegradationWindow,
+    DeliveryVerdict,
+    FaultInjector,
+    GilbertElliottLoss,
+    IIDLoss,
+    Partition,
+)
 from .links import BLUETOOTH, GSM, LINKS_BY_NAME, LTE, WIFI, LinkModel
 from .message import Message, MessageKind
 from .selector import NetworkSelector, SelectionPolicy, SelectionResult
@@ -21,6 +30,13 @@ __all__ = [
     "TrafficStats",
     "DiscoveryRegistry",
     "ServiceAnnouncement",
+    "CrashSchedule",
+    "DegradationWindow",
+    "DeliveryVerdict",
+    "FaultInjector",
+    "GilbertElliottLoss",
+    "IIDLoss",
+    "Partition",
     "BLUETOOTH",
     "GSM",
     "LINKS_BY_NAME",

@@ -15,9 +15,10 @@ drain inboxes explicitly, which keeps every experiment replayable.
 from __future__ import annotations
 
 import random as _random
-from collections import defaultdict, deque
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 
+from .faults import FaultInjector
 from .links import WIFI, LinkModel
 from .message import Message, MessageKind
 
@@ -58,6 +59,11 @@ class Endpoint:
         self.link = link
         self.inbox: deque[Message] = deque()
         self.stats = TrafficStats()
+        # Per-endpoint fault accounting: messages we transmitted that
+        # never arrived, and messages addressed to us that the channel
+        # (or our own outage) ate.
+        self.outbound_lost = 0
+        self.inbound_lost = 0
 
     def drain(self) -> list[Message]:
         """Remove and return all pending messages, oldest first."""
@@ -83,6 +89,11 @@ class MessageBus:
         makes loss expensive; the receiver pays nothing.
     seed:
         RNG seed for the loss process (losses are reproducible).
+    fault_injector:
+        Optional :class:`repro.network.faults.FaultInjector` consulted
+        on every delivery, composing bursty loss, degradation windows,
+        partitions and crash schedules on top of (or instead of) the
+        plain ``loss_rate``.
     """
 
     def __init__(
@@ -90,15 +101,18 @@ class MessageBus:
         default_link: LinkModel = WIFI,
         loss_rate: float = 0.0,
         seed: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.default_link = default_link
         self.loss_rate = loss_rate
+        self.fault_injector = fault_injector
         self._endpoints: dict[str, Endpoint] = {}
         self._subscriptions: dict[str, set[str]] = defaultdict(set)
         self.stats = TrafficStats()
         self.messages_lost = 0
+        self.losses_by_reason: Counter[str] = Counter()
         self._loss_rng = _random.Random(seed)
 
     # -- registration -------------------------------------------------
@@ -161,42 +175,78 @@ class MessageBus:
                 payload_values=message.payload_values,
                 timestamp=message.timestamp,
             )
-            self._deliver(copy)
-            deliveries += 1
+            if self._deliver(copy):
+                deliveries += 1
         return deliveries
 
     # -- point-to-point -----------------------------------------------
 
-    def send(self, message: Message) -> None:
-        """Deliver a unicast message to its destination endpoint."""
-        if message.destination not in self._endpoints:
-            raise KeyError(
-                f"destination {message.destination!r} is not registered"
-            )
-        self._deliver(message)
+    def send(self, message: Message, *, strict: bool = True) -> bool:
+        """Deliver a unicast message to its destination endpoint.
 
-    def _deliver(self, message: Message) -> None:
+        Returns True when the message reached the destination's inbox.
+        With ``strict`` (the default) an unregistered destination raises
+        ``KeyError``; with ``strict=False`` it is counted as a loss and
+        the sender still pays for the transmission — the drop-and-count
+        path brokers use so node churn never aborts a round.
+        """
+        if message.destination not in self._endpoints:
+            if strict:
+                raise KeyError(
+                    f"destination {message.destination!r} is not registered"
+                )
+            link = (
+                self._endpoints[message.source].link
+                if message.source in self._endpoints
+                else self.default_link
+            )
+            self._record_loss(message, link, "unreachable")
+            return False
+        return self._deliver(message)
+
+    def _deliver(self, message: Message) -> bool:
         destination = self._endpoints[message.destination]
         link = destination.link
         if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
-            # Lost in the channel: the sender still burned its radio.
-            self.messages_lost += 1
-            if message.source in self._endpoints:
-                sender = self._endpoints[message.source]
-                sender.stats.messages += 1
-                sender.stats.bytes += message.size_bytes
-                sender.stats.transmit_energy_mj += link.transfer_energy_mj(
-                    message
-                )
-            self.stats.messages += 1
-            self.stats.bytes += message.size_bytes
-            self.stats.transmit_energy_mj += link.transfer_energy_mj(message)
-            return
+            self._record_loss(message, link, "iid-loss")
+            return False
+        extra_latency = 0.0
+        if self.fault_injector is not None:
+            verdict = self.fault_injector.evaluate(message)
+            if not verdict.delivered:
+                self._record_loss(message, link, verdict.reason or "fault")
+                return False
+            extra_latency = verdict.extra_latency_s
         destination.inbox.append(message)
         destination.stats.record(message, link)
+        destination.stats.latency_s += extra_latency
         if message.source in self._endpoints:
-            self._endpoints[message.source].stats.record(message, link)
+            sender = self._endpoints[message.source]
+            sender.stats.record(message, link)
+            sender.stats.latency_s += extra_latency
         self.stats.record(message, link)
+        self.stats.latency_s += extra_latency
+        return True
+
+    def _record_loss(
+        self, message: Message, link: LinkModel, reason: str
+    ) -> None:
+        """Account a dropped delivery: the sender still burned its radio."""
+        self.messages_lost += 1
+        self.losses_by_reason[reason] += 1
+        if message.destination in self._endpoints:
+            self._endpoints[message.destination].inbound_lost += 1
+        if message.source in self._endpoints:
+            sender = self._endpoints[message.source]
+            sender.outbound_lost += 1
+            sender.stats.messages += 1
+            sender.stats.bytes += message.size_bytes
+            sender.stats.transmit_energy_mj += link.transfer_energy_mj(
+                message
+            )
+        self.stats.messages += 1
+        self.stats.bytes += message.size_bytes
+        self.stats.transmit_energy_mj += link.transfer_energy_mj(message)
 
     # -- convenience --------------------------------------------------
 
@@ -206,15 +256,20 @@ class MessageBus:
         reply_kind: MessageKind,
         reply_payload: dict,
         reply_values: int = 1,
-    ) -> Message:
+    ) -> Message | None:
         """Send a request and immediately deliver the canned reply.
 
         Utility for synchronous command/telemetry exchanges where the
         responder's behaviour is computed by the caller (the broker
         commands a node whose reading the simulation already knows).
-        Both legs are metered.
+        Both legs are metered.  A request lost in the channel suppresses
+        the reply leg entirely (the responder never heard the question),
+        and a lost reply returns ``None`` too — the caller sees exactly
+        what it would have received.
         """
-        self.send(request)
+        if not self.send(request):
+            return None
         reply = request.reply(reply_kind, reply_payload, reply_values)
-        self.send(reply)
+        if not self.send(reply):
+            return None
         return reply

@@ -44,6 +44,7 @@ EXPERIMENT_ORDER: tuple[str, ...] = (
     "ABL-UPLOAD",
     "ABL-DUTY",
     "ABL-POS",
+    "ROB-LOSS",
 )
 
 
