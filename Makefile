@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench report examples clean
+.PHONY: install test lint bench bench-perf report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,13 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Smoke-mode solver perf bench: small sizes, no timing assertions —
+# exercises both engines end to end.  Unset REPRO_PERF_SMOKE (and give
+# it a quiet machine) for the real numbers committed in BENCH_PERF.json.
+bench-perf:
+	REPRO_PERF_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_perf_solver_core.py --benchmark-disable -s
 
 report: bench
 	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md

@@ -26,6 +26,22 @@ from .basis import (
     pca_basis,
 )
 from .greedy import GreedyResult, cosamp, iht
+from .incremental import IncrementalQR, top_k_indices
+from .operators import (
+    BasisOperator,
+    DCT2Operator,
+    DCTOperator,
+    dct_sampled_rows,
+)
+from .registry import (
+    clear_registry,
+    has_operator,
+    registry_info,
+    shared_basis,
+    shared_dct2_basis,
+    shared_dct2_operator,
+    shared_operator,
+)
 from .spatiotemporal import (
     SpaceTimeResult,
     SpaceTimeSample,
@@ -76,6 +92,19 @@ __all__ = [
     "GreedyResult",
     "cosamp",
     "iht",
+    "IncrementalQR",
+    "top_k_indices",
+    "BasisOperator",
+    "DCT2Operator",
+    "DCTOperator",
+    "dct_sampled_rows",
+    "clear_registry",
+    "has_operator",
+    "registry_info",
+    "shared_basis",
+    "shared_dct2_basis",
+    "shared_dct2_operator",
+    "shared_operator",
     "SpaceTimeResult",
     "SpaceTimeSample",
     "reconstruct_spacetime",

@@ -154,22 +154,12 @@ def pca_basis(traces: np.ndarray, energy: float = 1.0) -> np.ndarray:
     components = vt.T  # N x r, orthonormal columns
     r = components.shape[1]
     if r < n:
-        # Complete to a full orthogonal basis via QR of a projection of
-        # the identity onto the orthogonal complement.
-        proj = np.eye(n) - components @ components.T
-        q, _ = np.linalg.qr(proj)
-        # Pick n - r independent columns of q (those not in span(components)).
-        extras = []
-        for col in q.T:
-            residual = col - components @ (components.T @ col)
-            for e in extras:
-                residual = residual - e * (e @ residual)
-            norm = np.linalg.norm(residual)
-            if norm > 1e-8:
-                extras.append(residual / norm)
-            if len(extras) == n - r:
-                break
-        components = np.column_stack([components] + extras)
+        # Complete to a full orthogonal basis with one Householder QR of
+        # [components | I]: the leading r columns are full rank, so the
+        # trailing n - r columns of Q form an orthonormal basis of the
+        # orthogonal complement — no Python-level Gram-Schmidt loop.
+        q, _ = np.linalg.qr(np.column_stack([components, np.eye(n)]))
+        components = np.column_stack([components, q[:, r:n]])
     return components
 
 

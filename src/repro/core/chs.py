@@ -27,6 +27,29 @@ Fig. 6, restated:
 by the nodes for context processing" — accordingly
 :class:`repro.middleware.broker.Broker` and the temporal context probes
 both call :func:`chs`.
+
+Hot-path engineering (the default ``engine="fast"``):
+
+- For the default :func:`zero_fill_interpolate` — the adjoint of the
+  selection operator — step 3(b) collapses algebraically:
+  ``Phi.T @ Y(e_r) == Phi[L, :].T @ e_r``, so the O(N^2) dense analysis
+  becomes an O(M*N) sampled-row correlation and the full basis is never
+  touched inside the loop.  Non-adjoint interpolators (linear, nearest)
+  keep the full analysis, via ``Phi.T`` for a dense basis or one fast
+  transform for a :class:`repro.core.operators.BasisOperator`.
+- Step 3(c) ranks candidates with an O(N) ``argpartition``
+  (:func:`repro.core.incremental.top_k_indices`) and a boolean support
+  mask, replacing the seed's full ``lexsort`` + per-candidate
+  ``set(support)`` rebuild; the deterministic lower-index tie-break is
+  preserved exactly.
+- Step 3(e) updates the refit with a rank-1 QR update per admitted atom
+  (:class:`repro.core.incremental.IncrementalQR`) instead of re-running
+  ``lstsq`` from scratch; GLS whitens the sampled rows once up front so
+  the same incremental machinery covers eq. 12.
+
+``engine="reference"`` dispatches to the seed implementation
+(:func:`repro.core.reference.chs_reference`), which the property suite
+holds the fast path to within 1e-8 of.
 """
 
 from __future__ import annotations
@@ -36,7 +59,9 @@ from typing import Callable
 
 import numpy as np
 
-from .least_squares import gls_solve, ols_solve
+from .incremental import IncrementalQR, top_k_indices
+from .least_squares import whiten
+from .operators import BasisOperator
 
 __all__ = [
     "CHSResult",
@@ -59,7 +84,8 @@ def zero_fill_interpolate(
     measurement-domain correlation ``Phi[L,:].T @ e_r`` — the classical
     matched-filter score — so CHS stays reliable even when the field has
     content the smoother interpolators alias away (e.g. the engine
-    vibration tone in the Fig. 4 accelerometer window).
+    vibration tone in the Fig. 4 accelerometer window).  The fast solver
+    engine exploits exactly this identity to avoid the dense product.
     """
     locations = np.asarray(locations, dtype=int)
     full = np.zeros(n)
@@ -85,11 +111,29 @@ def linear_interpolate(
 def nearest_interpolate(
     values: np.ndarray, locations: np.ndarray, n: int
 ) -> np.ndarray:
-    """Nearest-neighbour interpolator, better for piecewise-constant fields."""
-    locations = np.asarray(locations, dtype=int)
+    """Nearest-neighbour interpolator, better for piecewise-constant fields.
+
+    Runs in O(N log M) via ``searchsorted`` on the sorted locations
+    rather than materialising the O(N*M) pairwise distance matrix.  Ties
+    (a grid point exactly halfway between two samples) resolve to the
+    lower location, matching the distance-matrix ``argmin`` convention
+    for the sorted location sets the solvers use.
+    """
+    locations = np.asarray(locations, dtype=int).ravel()
+    values = np.asarray(values, dtype=float).ravel()
+    if locations.size == 0:
+        raise ValueError("need at least one sample location")
+    order = np.argsort(locations, kind="stable")
+    locs = locations[order]
+    vals = values[order]
     grid = np.arange(n)
-    nearest = np.abs(grid[:, None] - locations[None, :]).argmin(axis=1)
-    return np.asarray(values, dtype=float)[nearest]
+    right = np.searchsorted(locs, grid, side="left")
+    left = np.clip(right - 1, 0, locs.size - 1)
+    right_c = np.clip(right, 0, locs.size - 1)
+    dist_left = np.where(right > 0, grid - locs[left], np.inf)
+    dist_right = np.where(right < locs.size, locs[right_c] - grid, np.inf)
+    pick_left = dist_left <= dist_right
+    return np.where(pick_left, vals[left], vals[right_c])
 
 
 @dataclass
@@ -106,7 +150,7 @@ class CHSResult:
 
 
 def chs(
-    phi: np.ndarray,
+    phi: np.ndarray | BasisOperator,
     x_s: np.ndarray,
     locations: np.ndarray,
     *,
@@ -116,13 +160,15 @@ def chs(
     max_iterations: int = 64,
     covariance: np.ndarray | None = None,
     interpolator: Interpolator = zero_fill_interpolate,
+    engine: str = "fast",
 ) -> CHSResult:
     """Run Compressive Heterogeneous Sensing (paper Fig. 6).
 
     Parameters
     ----------
     phi:
-        Full ``(N, N)`` orthonormal synthesis basis.
+        Full ``(N, N)`` orthonormal synthesis basis, dense or as a
+        matrix-free :class:`repro.core.operators.BasisOperator`.
     x_s:
         Measurements at the M sensor locations.
     locations:
@@ -145,17 +191,43 @@ def chs(
         GLS (heterogeneous sensors), else OLS (homogeneous).
     interpolator:
         The Y function of step 3a.
+    engine:
+        ``"fast"`` (default) runs the matrix-free/incremental hot path;
+        ``"reference"`` runs the seed's dense implementation (the
+        equivalence oracle and bench baseline).
 
     Returns
     -------
     :class:`CHSResult` with the N-point reconstruction ``x_hat``.
     """
-    phi = np.asarray(phi, dtype=float)
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "reference":
+        from .reference import chs_reference
+
+        dense = phi.to_dense() if isinstance(phi, BasisOperator) else phi
+        return chs_reference(
+            dense,
+            x_s,
+            locations,
+            max_sparsity=max_sparsity,
+            batch_size=batch_size,
+            tol=tol,
+            max_iterations=max_iterations,
+            covariance=covariance,
+            interpolator=interpolator,
+        )
+
+    op = phi if isinstance(phi, BasisOperator) else None
     x_s = np.asarray(x_s, dtype=float).ravel()
     locations = np.asarray(locations, dtype=int).ravel()
-    if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
-        raise ValueError("CHS needs the full square basis Phi")
-    n = phi.shape[0]
+    if op is not None:
+        n = op.n
+    else:
+        phi = np.asarray(phi, dtype=float)
+        if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
+            raise ValueError("CHS needs the full square basis Phi")
+        n = phi.shape[0]
     m = locations.size
     if x_s.size != m:
         raise ValueError(f"{x_s.size} measurements but {m} locations")
@@ -172,52 +244,61 @@ def chs(
     # underdetermined (K ~ M extrapolates wildly off the sample set).
     max_sparsity = min(max_sparsity, max(1, m - 1), n)
 
-    phi_rows = phi[locations, :]  # Phi(L, :), shared by all refits
+    phi_rows = op.rows(locations) if op is not None else phi[locations, :]
     # Selection is normalised by each atom's energy *at the sampled
     # rows*: an atom barely present at the M locations can correlate
-    # spuriously with the residual (e.g. a high-frequency atom whose six
-    # sampled entries all happen to share a sign will outscore the DC
-    # atom on a near-constant field) yet cannot be estimated from those
+    # spuriously with the residual yet cannot be estimated from those
     # samples.  This is the standard matched-filter normalisation OMP
     # uses, applied to Fig. 6's step (c) scoring.
     column_norms = np.linalg.norm(phi_rows, axis=0)
     column_norms = np.where(column_norms > 1e-12, column_norms, np.inf)
+    # Heterogeneous sensors: whiten once so each iteration's eq.-12 GLS
+    # refit reduces to OLS on a fixed system the QR update can grow.
+    if covariance is None:
+        rows_fit, x_fit = phi_rows, x_s
+    else:
+        rows_fit, x_fit = whiten(phi_rows, x_s, covariance)
+    refit = IncrementalQR(m, capacity=max_sparsity)
     support: list[int] = []
+    in_support = np.zeros(n, dtype=bool)
     alpha_sub = np.zeros(0)
     residual = x_s.copy()
     target = tol * max(np.linalg.norm(x_s), 1e-300)
     history: list[float] = []
     iterations = 0
+    # The adjoint identity: with zero-fill interpolation, step 3(b)'s
+    # Phi.T @ Y(e_r) equals the sampled-row correlation Phi[L,:].T @ e_r.
+    adjoint_lift = interpolator is zero_fill_interpolate
 
     for iterations in range(1, max_iterations + 1):
-        # (a) interpolate the measurement residual to the full grid.
-        residual_full = interpolator(residual, locations, n)
-        # (b) analyse in the basis: alpha_r = Phi^+ e_r_new = Phi^T for
-        # orthonormal Phi.
-        alpha_r = phi.T @ residual_full
+        # (a)+(b) analyse the lifted residual in the basis.
+        if adjoint_lift:
+            alpha_r = phi_rows.T @ residual
+        else:
+            residual_full = interpolator(residual, locations, n)
+            if op is not None:
+                alpha_r = op.analyze(residual_full)
+            else:
+                alpha_r = phi.T @ residual_full
         # (c) pick the largest-magnitude new coefficients (normalised by
-        # sampled-row atom energy; see column_norms above).  Ties are
-        # broken toward the lower coefficient index: at small M a
-        # high-frequency atom can alias exactly onto a low-frequency one
-        # over the sample set, and the low-frequency interpretation is
-        # the right prior for physical fields.
+        # sampled-row atom energy; ties break toward the lower index —
+        # the low-frequency prior for physical fields).
         scores = np.abs(alpha_r) / column_norms
-        order = np.lexsort((np.arange(n), -scores))
-        new = [int(i) for i in order if int(i) not in set(support)]
+        scores[in_support] = -np.inf
         room = max_sparsity - len(support)
-        picked = new[: min(batch_size, room)]
-        if not picked:
+        picked = top_k_indices(scores, min(batch_size, room))
+        if picked.size == 0:
             break
         # (d) grow the index set.
-        support.extend(picked)
-        # (e) refit all coefficients on the measured rows.
-        sub = phi_rows[:, support]
-        if covariance is None:
-            alpha_sub = ols_solve(sub, x_s)
-        else:
-            alpha_sub = gls_solve(sub, x_s, covariance)
+        support.extend(int(i) for i in picked)
+        in_support[picked] = True
+        # (e) refit all coefficients on the measured rows — one rank-1
+        # QR update per admitted atom.
+        for j in picked:
+            refit.add_column(rows_fit[:, j])
+        alpha_sub = refit.solve(x_fit)
         # (f) update the measurement-domain residual.
-        residual = x_s - sub @ alpha_sub
+        residual = x_s - phi_rows[:, support] @ alpha_sub
         history.append(float(np.linalg.norm(residual)))
         if history[-1] <= target or len(support) >= max_sparsity:
             break
@@ -225,7 +306,12 @@ def chs(
     coefficients = np.zeros(n)
     if support:
         coefficients[support] = alpha_sub
-    reconstruction = phi[:, support] @ alpha_sub if support else np.zeros(n)
+    if not support:
+        reconstruction = np.zeros(n)
+    elif op is not None:
+        reconstruction = op.synthesize(coefficients)
+    else:
+        reconstruction = phi[:, support] @ alpha_sub
     return CHSResult(
         coefficients=coefficients,
         support=np.asarray(support, dtype=int),

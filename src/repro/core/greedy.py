@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .incremental import top_k_indices
 from .least_squares import ols_solve
 
 __all__ = ["GreedyResult", "cosamp", "iht"]
@@ -87,16 +88,17 @@ def cosamp(
     iterations = 0
     previous = np.inf
     for iterations in range(1, max_iterations + 1):
-        # Identify: 2K strongest correlations with the residual.
+        # Identify: 2K strongest correlations with the residual
+        # (deterministic tie-break toward the lower index).
         proxy = np.abs(a.T @ residual)
-        candidates = np.argpartition(proxy, -min(2 * k, n))[-min(2 * k, n):]
+        candidates = top_k_indices(proxy, min(2 * k, n))
         # Merge with the current support.
         merged = np.union1d(candidates, np.flatnonzero(alpha))
         # Estimate on the merged support, then prune to the K largest.
         sub_solution = ols_solve(a[:, merged], y)
         pruned = np.zeros(n)
         pruned[merged] = sub_solution
-        keep = np.argpartition(np.abs(pruned), -k)[-k:]
+        keep = top_k_indices(np.abs(pruned), k)
         alpha = np.zeros(n)
         alpha[keep] = pruned[keep]
         # Final least-squares polish on the pruned support.
@@ -156,7 +158,7 @@ def iht(
             converged = True
             break
         updated = alpha + step * (a.T @ residual)
-        keep = np.argpartition(np.abs(updated), -k)[-k:]
+        keep = top_k_indices(np.abs(updated), k)
         alpha = np.zeros(n)
         alpha[keep] = updated[keep]
         # Convergence check on iterate change.

@@ -10,6 +10,14 @@ which "can be effectively solved using the orthogonal matching pursuit
 dictionary column most correlated with the current residual, then refits
 all selected coefficients by least squares — the same skeleton the CHS
 algorithm of Fig. 6 builds on.
+
+The default ``engine="fast"`` shares CHS's hot-path machinery: a
+persistent boolean mask suppresses re-selection, the per-iteration
+least-squares refit is a rank-1 QR update
+(:class:`repro.core.incremental.IncrementalQR`) instead of a
+from-scratch ``lstsq``, and a GLS covariance is whitened once up front.
+``engine="reference"`` runs the seed implementation
+(:func:`repro.core.reference.omp_reference`), the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -18,7 +26,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .least_squares import gls_solve, ols_solve
+from .incremental import IncrementalQR
+from .least_squares import whiten
 
 __all__ = ["OMPResult", "omp"]
 
@@ -55,6 +64,7 @@ def omp(
     *,
     tol: float = 1e-9,
     covariance: np.ndarray | None = None,
+    engine: str = "fast",
 ) -> OMPResult:
     """Recover a sparse coefficient vector from measurements ``x_s``.
 
@@ -74,11 +84,23 @@ def omp(
         Optional sensor-noise covariance; when given, the per-iteration
         refit uses GLS (eq. 12) instead of OLS (eq. 11), matching step
         3(e)(ii) of Fig. 6.
+    engine:
+        ``"fast"`` (default) uses the incremental QR refit;
+        ``"reference"`` runs the seed's from-scratch-refit loop.
 
     Returns
     -------
     :class:`OMPResult` with the N-length coefficient vector.
     """
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "reference":
+        from .reference import omp_reference
+
+        return omp_reference(
+            phi_tilde, x_s, sparsity, tol=tol, covariance=covariance
+        )
+
     phi_tilde = np.asarray(phi_tilde, dtype=float)
     x_s = np.asarray(x_s, dtype=float).ravel()
     if phi_tilde.ndim != 2:
@@ -95,25 +117,29 @@ def omp(
     col_norms = np.linalg.norm(phi_tilde, axis=0)
     safe_norms = np.where(col_norms > 0, col_norms, 1.0)
 
+    if covariance is None:
+        dict_fit, x_fit = phi_tilde, x_s
+    else:
+        dict_fit, x_fit = whiten(phi_tilde, x_s, covariance)
+    refit = IncrementalQR(m, capacity=sparsity)
     residual = x_s.copy()
     target = tol * max(np.linalg.norm(x_s), 1e-300)
     support: list[int] = []
+    in_support = np.zeros(n, dtype=bool)
     alpha_sub = np.zeros(0)
     history: list[float] = []
 
     for _ in range(sparsity):
         correlations = np.abs(phi_tilde.T @ residual) / safe_norms
-        correlations[support] = -np.inf  # never reselect
+        correlations[in_support] = -np.inf  # never reselect
         best = int(np.argmax(correlations))
         if not np.isfinite(correlations[best]) or correlations[best] <= 0:
             break
         support.append(best)
-        sub = phi_tilde[:, support]
-        if covariance is None:
-            alpha_sub = ols_solve(sub, x_s)
-        else:
-            alpha_sub = gls_solve(sub, x_s, covariance)
-        residual = x_s - sub @ alpha_sub
+        in_support[best] = True
+        refit.add_column(dict_fit[:, best])
+        alpha_sub = refit.solve(x_fit)
+        residual = x_s - phi_tilde[:, support] @ alpha_sub
         history.append(float(np.linalg.norm(residual)))
         if history[-1] <= target:
             break

@@ -1,0 +1,173 @@
+"""Matrix-free orthonormal basis operators.
+
+The dense matrices in :mod:`repro.core.basis` are the right tool for
+verification, but a production broker covering a large zone should never
+materialise an ``N x N`` basis just to run Fig. 6: every quantity the
+solvers need is computable from fast transforms,
+
+- synthesis ``Phi @ alpha``  -> inverse DCT (``scipy.fft.idct``),
+- analysis ``Phi.T @ x``     -> forward DCT (``scipy.fft.dct``),
+- sampled rows ``Phi[L, :]`` -> closed-form cosine evaluation, O(M*N),
+
+turning the per-iteration cost from O(N^2) memory-bound matmuls into
+O(N log N) transforms (or O(M*N) for the sampled-row correlation) and
+the storage from O(N^2) to O(1).  Operators satisfy the same orthonormal
+contract as the dense bases (``analyze`` is the exact inverse of
+``synthesize``), which the property tests in
+``tests/core/test_operators.py`` pin against the dense matrices.
+
+Every solver entry point (:func:`repro.core.chs.chs`,
+:func:`repro.core.reconstruction.reconstruct`) accepts a
+:class:`BasisOperator` anywhere a dense ``phi`` is accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dct, idct
+
+__all__ = [
+    "BasisOperator",
+    "DCTOperator",
+    "DCT2Operator",
+    "dct_sampled_rows",
+]
+
+
+def dct_sampled_rows(n: int, rows: np.ndarray) -> np.ndarray:
+    """Evaluate rows ``Phi[rows, :]`` of the orthonormal DCT-II synthesis
+    basis in closed form (no ``n x n`` build).
+
+    ``Phi[i, k] = c_k * cos(pi * (2i + 1) * k / (2n))`` with
+    ``c_0 = sqrt(1/n)`` and ``c_k = sqrt(2/n)`` otherwise — exactly the
+    matrix :func:`repro.core.basis.dct_basis` returns, restricted to the
+    requested rows.
+    """
+    if n <= 0:
+        raise ValueError(f"basis size must be positive, got {n}")
+    rows = np.asarray(rows, dtype=int).ravel()
+    if rows.size and (rows.min() < 0 or rows.max() >= n):
+        raise IndexError("row index out of range for basis")
+    i = rows[:, None].astype(float)
+    k = np.arange(n, dtype=float)[None, :]
+    out = np.cos(np.pi * (2.0 * i + 1.0) * k / (2.0 * n)) * np.sqrt(2.0 / n)
+    out[:, 0] = np.sqrt(1.0 / n)
+    return out
+
+
+class BasisOperator:
+    """Abstract matrix-free orthonormal synthesis basis of size ``n x n``.
+
+    Subclasses implement the three primitives the solver stack uses; the
+    operator is interchangeable with a dense ``(n, n)`` array everywhere
+    in :mod:`repro.core`.
+    """
+
+    name: str = "operator"
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"basis size must be positive, got {n}")
+        self.n = int(n)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def synthesize(self, alpha: np.ndarray) -> np.ndarray:
+        """``Phi @ alpha`` without forming Phi."""
+        raise NotImplementedError
+
+    def analyze(self, x: np.ndarray) -> np.ndarray:
+        """``Phi.T @ x`` (== ``Phi^+ x`` for an orthonormal basis)."""
+        raise NotImplementedError
+
+    def rows(self, locations: np.ndarray) -> np.ndarray:
+        """Sensing matrix ``Phi[L, :]`` for the given sample locations."""
+        raise NotImplementedError
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full matrix (tests / reference paths only)."""
+        return self.rows(np.arange(self.n))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class DCTOperator(BasisOperator):
+    """Matrix-free 1-D orthonormal DCT-II basis (``dct_basis`` operator form)."""
+
+    name = "dct"
+
+    def synthesize(self, alpha: np.ndarray) -> np.ndarray:
+        alpha = np.asarray(alpha, dtype=float).ravel()
+        if alpha.size != self.n:
+            raise ValueError(f"coefficient length {alpha.size} != N={self.n}")
+        return idct(alpha, norm="ortho")
+
+    def analyze(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.n:
+            raise ValueError(f"signal length {x.size} != N={self.n}")
+        return dct(x, norm="ortho")
+
+    def rows(self, locations: np.ndarray) -> np.ndarray:
+        return dct_sampled_rows(self.n, locations)
+
+
+class DCT2Operator(BasisOperator):
+    """Matrix-free separable 2-D DCT basis for a column-stacked
+    ``height x width`` field (``dct2_basis`` operator form).
+
+    With the eq.-(1) column-major vectorisation, the Kronecker identity
+    ``(Phi_W kron Phi_H) vec(A) = vec(Phi_H A Phi_W^T)`` turns synthesis
+    and analysis into two small 1-D transforms along each grid axis, and
+    a sampled row at grid cell ``(i, j)`` into the outer product of one
+    width-row and one height-row.
+    """
+
+    name = "dct2"
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(
+                f"field dimensions must be positive, got {width}x{height}"
+            )
+        super().__init__(width * height)
+        self.width = int(width)
+        self.height = int(height)
+
+    def synthesize(self, alpha: np.ndarray) -> np.ndarray:
+        alpha = np.asarray(alpha, dtype=float).ravel()
+        if alpha.size != self.n:
+            raise ValueError(f"coefficient length {alpha.size} != N={self.n}")
+        coeff = alpha.reshape(self.height, self.width, order="F")
+        grid = idct(idct(coeff, axis=0, norm="ortho"), axis=1, norm="ortho")
+        return grid.ravel(order="F")
+
+    def analyze(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != self.n:
+            raise ValueError(f"signal length {x.size} != N={self.n}")
+        grid = x.reshape(self.height, self.width, order="F")
+        coeff = dct(dct(grid, axis=0, norm="ortho"), axis=1, norm="ortho")
+        return coeff.ravel(order="F")
+
+    def rows(self, locations: np.ndarray) -> np.ndarray:
+        locations = np.asarray(locations, dtype=int).ravel()
+        if locations.size and (
+            locations.min() < 0 or locations.max() >= self.n
+        ):
+            raise IndexError("location index out of range for basis")
+        # Zone-local convention: index = column * height + row.
+        cols = locations // self.height
+        rows_ = locations % self.height
+        rw = dct_sampled_rows(self.width, cols)  # (M, W)
+        rh = dct_sampled_rows(self.height, rows_)  # (M, H)
+        # kron column index k = k_col * height + k_row.
+        return (rw[:, :, None] * rh[:, None, :]).reshape(
+            locations.size, self.n
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DCT2Operator(width={self.width}, height={self.height})"

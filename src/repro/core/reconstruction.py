@@ -6,6 +6,11 @@ solver name, and returns a uniform :class:`Reconstruction` record.  This
 keeps solver selection a *configuration* decision, matching the paper's
 "tunable approximate processing" theme: the middleware can trade accuracy
 for compute by switching solver or sparsity without touching call sites.
+
+The basis may be a dense ``(N, N)`` array or a matrix-free
+:class:`repro.core.operators.BasisOperator`; with an operator the full
+basis is never materialised — solvers see only the ``(M, N)`` sampled
+rows and the final synthesis runs as one fast transform.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from .chs import chs
 from .l1 import l1_solve, l1_solve_noisy
 from .least_squares import gls_solve, ols_solve
 from .omp import omp
+from .operators import BasisOperator
 from .sampling import subsample_rows
 
 __all__ = ["Reconstruction", "reconstruct", "SOLVERS"]
@@ -67,7 +73,7 @@ def _dense_support(coefficients: np.ndarray) -> np.ndarray:
 def reconstruct(
     measurements: np.ndarray,
     locations: np.ndarray,
-    phi: np.ndarray,
+    phi: np.ndarray | BasisOperator,
     *,
     solver: SolverName = "chs",
     sparsity: int | None = None,
@@ -75,6 +81,7 @@ def reconstruct(
     noise_budget: float | None = None,
     batch_size: int = 1,
     center: bool = False,
+    engine: str = "fast",
 ) -> Reconstruction:
     """Reconstruct a full N-point field from M point measurements.
 
@@ -85,7 +92,8 @@ def reconstruct(
     locations:
         Grid indices ``L`` of the reporting sensors.
     phi:
-        Full ``(N, N)`` orthonormal synthesis basis.
+        Full ``(N, N)`` orthonormal synthesis basis, dense or as a
+        matrix-free :class:`repro.core.operators.BasisOperator`.
     solver:
         One of ``chs`` (Fig. 6, default), ``omp`` (eq. 13), ``cosamp``
         / ``iht`` (standard greedy/thresholding alternatives), ``l1``
@@ -109,6 +117,10 @@ def reconstruct(
         with a spuriously well-matching non-constant atom whose
         off-sample oscillation ruins the reconstruction.  Brokers enable
         this; leave off for zero-mean/exactly-sparse signals.
+    engine:
+        Solver engine forwarded to ``chs``/``omp``: ``"fast"``
+        (default) or ``"reference"`` (the seed implementation, used as
+        the perf-bench baseline and equivalence oracle).
 
     Returns
     -------
@@ -116,18 +128,22 @@ def reconstruct(
     """
     measurements = np.asarray(measurements, dtype=float).ravel()
     locations = np.asarray(locations, dtype=int).ravel()
-    if np.iscomplexobj(phi):
-        # The real-valued solver stack would silently drop imaginary
-        # parts; require the caller to lift a complex basis (e.g. DFT)
-        # to its stacked real/imaginary form explicitly.
-        raise ValueError(
-            "complex basis not supported by reconstruct(); use a real "
-            "basis (dct/dct2/haar) or stack real and imaginary parts"
-        )
-    phi = np.asarray(phi, dtype=float)
-    if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
-        raise ValueError("phi must be the square synthesis basis")
-    n = phi.shape[0]
+    op = phi if isinstance(phi, BasisOperator) else None
+    if op is not None:
+        n = op.n
+    else:
+        if np.iscomplexobj(phi):
+            # The real-valued solver stack would silently drop imaginary
+            # parts; require the caller to lift a complex basis (e.g. DFT)
+            # to its stacked real/imaginary form explicitly.
+            raise ValueError(
+                "complex basis not supported by reconstruct(); use a real "
+                "basis (dct/dct2/haar) or stack real and imaginary parts"
+            )
+        phi = np.asarray(phi, dtype=float)
+        if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
+            raise ValueError("phi must be the square synthesis basis")
+        n = phi.shape[0]
     m = locations.size
     if measurements.size != m:
         raise ValueError(f"{measurements.size} measurements for {m} locations")
@@ -138,117 +154,90 @@ def reconstruct(
     if solver not in SOLVERS:
         raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVERS}")
 
-    if center:
-        baseline = float(measurements.mean())
-        inner = reconstruct(
-            measurements - baseline,
-            locations,
-            phi,
-            solver=solver,
-            sparsity=sparsity,
-            covariance=covariance,
-            noise_budget=noise_budget,
-            batch_size=batch_size,
-            center=False,
-        )
-        return Reconstruction(
-            x_hat=inner.x_hat + baseline,
-            coefficients=inner.coefficients,
-            support=inner.support,
-            solver=inner.solver,
-            m=m,
-            n=n,
-        )
+    # Baseline + sparse variation: subtract the sample mean here, solve
+    # once, and add the baseline back onto x_hat at the end — one code
+    # path and one subsample_rows call instead of a re-dispatching
+    # recursive solve.
+    baseline = float(measurements.mean()) if center else 0.0
+    values = measurements - baseline if center else measurements
 
-    phi_rows = subsample_rows(phi, locations)
+    phi_rows = op.rows(locations) if op is not None else subsample_rows(
+        phi, locations
+    )
+
+    def synthesize(coefficients: np.ndarray) -> np.ndarray:
+        return op.synthesize(coefficients) if op is not None else (
+            phi @ coefficients
+        )
 
     if solver == "chs":
         result = chs(
             phi,
-            measurements,
+            values,
             locations,
             max_sparsity=sparsity,
             batch_size=batch_size,
             covariance=covariance,
+            engine=engine,
         )
-        return Reconstruction(
-            x_hat=result.reconstruction,
-            coefficients=result.coefficients,
-            support=result.support,
-            solver=solver,
-            m=m,
-            n=n,
-        )
-
-    if solver == "omp":
+        x_hat = result.reconstruction
+        coefficients = result.coefficients
+        support = result.support
+    elif solver == "omp":
         result = omp(
             phi_rows,
-            measurements,
+            values,
             sparsity=min(sparsity, m, n),
             covariance=covariance,
+            engine=engine,
         )
         coefficients = result.coefficients
-        return Reconstruction(
-            x_hat=phi @ coefficients,
-            coefficients=coefficients,
-            support=result.support,
-            solver=solver,
-            m=m,
-            n=n,
-        )
-
-    if solver in ("cosamp", "iht"):
+        support = result.support
+        x_hat = synthesize(coefficients)
+    elif solver in ("cosamp", "iht"):
         from .greedy import cosamp as cosamp_solve
         from .greedy import iht as iht_solve
 
         k = min(sparsity, max(m - 1, 1), n)
         if solver == "cosamp":
-            greedy = cosamp_solve(phi_rows, measurements, sparsity=k)
+            greedy = cosamp_solve(phi_rows, values, sparsity=k)
         else:
-            greedy = iht_solve(phi_rows, measurements, sparsity=k)
+            greedy = iht_solve(phi_rows, values, sparsity=k)
         coefficients = greedy.coefficients
-        return Reconstruction(
-            x_hat=phi @ coefficients,
-            coefficients=coefficients,
-            support=greedy.support,
-            solver=solver,
-            m=m,
-            n=n,
-        )
-
-    if solver in ("l1", "l1-noisy"):
+        support = greedy.support
+        x_hat = synthesize(coefficients)
+    elif solver in ("l1", "l1-noisy"):
         if solver == "l1":
-            result = l1_solve(phi_rows, measurements)
+            result = l1_solve(phi_rows, values)
         else:
             budget = noise_budget if noise_budget is not None else 1e-3
-            result = l1_solve_noisy(phi_rows, measurements, budget)
+            result = l1_solve_noisy(phi_rows, values, budget)
         coefficients = result.coefficients
-        return Reconstruction(
-            x_hat=phi @ coefficients,
-            coefficients=coefficients,
-            support=result.support,
-            solver=solver,
-            m=m,
-            n=n,
-        )
-
-    # ols / gls: fixed leading-K coefficient columns (low-frequency model),
-    # the paper's closed-form overdetermined case (eqs. 11-12).
-    k = min(sparsity, m, n)
-    columns = np.arange(k)
-    phi_k = phi_rows[:, columns]
-    if solver == "ols":
-        alpha_k = ols_solve(phi_k, measurements)
+        support = result.support
+        x_hat = synthesize(coefficients)
     else:
-        if covariance is None:
-            raise ValueError("gls solver requires a covariance")
-        alpha_k = gls_solve(phi_k, measurements, covariance)
-    coefficients = np.zeros(n)
-    coefficients[columns] = alpha_k
+        # ols / gls: fixed leading-K coefficient columns (low-frequency
+        # model), the paper's closed-form overdetermined case (eqs. 11-12).
+        k = min(sparsity, m, n)
+        columns = np.arange(k)
+        phi_k = phi_rows[:, columns]
+        if solver == "ols":
+            alpha_k = ols_solve(phi_k, values)
+        else:
+            if covariance is None:
+                raise ValueError("gls solver requires a covariance")
+            alpha_k = gls_solve(phi_k, values, covariance)
+        coefficients = np.zeros(n)
+        coefficients[columns] = alpha_k
+        support = _dense_support(coefficients)
+        x_hat = synthesize(coefficients)
+
+    if center:
+        x_hat = x_hat + baseline
     return Reconstruction(
-        x_hat=phi @ coefficients,
+        x_hat=x_hat,
         coefficients=coefficients,
-        support=_dense_support(coefficients),
+        support=support,
         solver=solver,
         m=m,
         n=n,

@@ -24,7 +24,15 @@ import numpy as np
 
 from ..context.group import ContextReport, GroupAggregator
 from ..core.basis import basis_by_name, dct2_basis
+from ..core.operators import BasisOperator
 from ..core.reconstruction import Reconstruction, reconstruct
+from ..core.registry import (
+    has_operator,
+    shared_basis,
+    shared_dct2_basis,
+    shared_dct2_operator,
+    shared_operator,
+)
 from ..core.sampling import MeasurementPlan
 from ..core.sparsity import energy_sparsity
 from ..energy.accounting import EnergyLedger
@@ -106,6 +114,28 @@ class _RoundTelemetry:
     infra_reads: int = 0
 
 
+@dataclass
+class _PendingRound:
+    """One round's collected inputs, frozen between collect and solve.
+
+    :meth:`Broker.collect_round` produces this record after all bus
+    traffic and RNG draws are done; :meth:`Broker.solve_round` consumes
+    it without touching the bus, the nodes or any mutable broker state,
+    which is what lets a LocalCloud fan several zones' solves over a
+    thread pool while staying bit-identical to a serial run.
+    """
+
+    locations: np.ndarray
+    values: np.ndarray
+    covariance: np.ndarray | None
+    noise_stds: list[float]
+    k_est: int
+    solver_sparsity: int
+    planned_m: int
+    timestamp: float
+    telemetry: _RoundTelemetry
+
+
 class Broker:
     """Sink/collector of one NanoCloud.
 
@@ -163,7 +193,7 @@ class Broker:
         self._rng = np.random.default_rng(
             self.config.seed if self.config.seed is not None else rng
         )
-        self._basis_cache: np.ndarray | None = None
+        self._basis_cache: np.ndarray | BasisOperator | None = None
         # Rolling memory of past reconstructions (monotone round index,
         # vectorised field) feeding learn_prior_from_history.
         self._history: list[tuple[float, np.ndarray]] = []
@@ -240,18 +270,32 @@ class Broker:
 
     # -- internals ------------------------------------------------------
 
-    def _basis(self) -> np.ndarray:
+    def _basis(self) -> np.ndarray | BasisOperator:
         if self._basis_cache is None:
-            if self.config.use_prior_basis and self.prior is not None:
+            cfg = self.config
+            if cfg.use_prior_basis and self.prior is not None:
                 self._basis_cache = self.prior.basis
-            elif self.config.basis == "dct2":
-                # The broker knows its zone geometry, so it can build the
-                # separable 2-D basis the 1-D registry cannot.
-                self._basis_cache = dct2_basis(
-                    self.zone_width, self.zone_height
+            elif cfg.solver_engine == "reference":
+                # Seed behaviour, kept honest for perf baselines: every
+                # broker builds (and owns) its dense basis from scratch.
+                if cfg.basis == "dct2":
+                    self._basis_cache = dct2_basis(
+                        self.zone_width, self.zone_height
+                    )
+                else:
+                    self._basis_cache = basis_by_name(cfg.basis, self.n)
+            elif cfg.basis == "dct2":
+                self._basis_cache = (
+                    shared_dct2_operator(self.zone_width, self.zone_height)
+                    if cfg.operator_basis
+                    else shared_dct2_basis(self.zone_width, self.zone_height)
                 )
+            elif cfg.operator_basis and has_operator(cfg.basis):
+                self._basis_cache = shared_operator(cfg.basis, self.n)
             else:
-                self._basis_cache = basis_by_name(self.config.basis, self.n)
+                # No operator form (haar, identity, ...): share the dense
+                # matrix across every same-shaped broker in the process.
+                self._basis_cache = shared_basis(cfg.basis, self.n)
         return self._basis_cache
 
     def _sparsity_estimate(self) -> int:
@@ -455,8 +499,20 @@ class Broker:
         return True
 
     # -- the aggregation round -------------------------------------------
+    #
+    # A round has three phases with different concurrency contracts:
+    #
+    #   collect_round   — bus traffic, node commands, RNG draws.  Serial.
+    #   solve_round     — pure numerics on the collected inputs.  Safe to
+    #                     run on a worker thread (one thread per broker).
+    #   finalize_round  — sparsity adaptation, history, the ZoneEstimate.
+    #                     Serial; mutates broker state.
+    #
+    # run_round composes the three for the common serial case; the
+    # LocalCloud / Hierarchy layers drive the phases separately when
+    # parallel reconstruction is enabled.
 
-    def run_round(
+    def collect_round(
         self,
         bus: MessageBus,
         nodes: dict[str, MobileNode],
@@ -464,20 +520,12 @@ class Broker:
         timestamp: float = 0.0,
         *,
         measurements: int | None = None,
-    ) -> ZoneEstimate:
-        """Execute one compressive aggregation round.
+    ) -> _PendingRound:
+        """Phase 1: plan, command, and collect one round's measurements.
 
-        Parameters
-        ----------
-        bus:
-            Transport; the broker and all member nodes must be registered.
-        nodes:
-            Node objects by id (the simulation's handle to make members
-            answer their commands).
-        env:
-            Ground-truth environment the sensors read.
-        measurements:
-            Explicit M override (used by sweeps); default: policy choice.
+        Performs every side-effecting step of the round — the sampling
+        plan's RNG draws, all command/report bus exchanges, infrastructure
+        reads — and freezes the result into a :class:`_PendingRound`.
 
         Raises
         ------
@@ -550,8 +598,6 @@ class Broker:
                 f"{telemetry.reports_lost} reports lost) and no "
                 "infrastructure"
             )
-        refused = telemetry.refused
-        infra_reads = telemetry.infra_reads
 
         locations = np.asarray(collected.locations, dtype=int)
         values = np.asarray(collected.values, dtype=float)
@@ -560,29 +606,70 @@ class Broker:
             stds = np.maximum(np.asarray(collected.noise_stds), 1e-9)
             covariance = np.diag(stds**2)
 
-        phi = self._basis()
         # A badly degraded round can realise fewer measurements than the
         # nominal sparsity; a solver can never recover more coefficients
         # than it has rows, so clamp instead of crashing.
         solver_sparsity = max(min(max(k_est, 4), values.size), 1)
+        return _PendingRound(
+            locations=locations,
+            values=values,
+            covariance=covariance,
+            noise_stds=list(collected.noise_stds),
+            k_est=k_est,
+            solver_sparsity=solver_sparsity,
+            planned_m=planned_m,
+            timestamp=timestamp,
+            telemetry=telemetry,
+        )
+
+    def solve_round(
+        self, pending: _PendingRound
+    ) -> tuple[Reconstruction, np.ndarray]:
+        """Phase 2: reconstruct the zone field from collected inputs.
+
+        Pure numerics — no bus, no RNG, no mutation of round state — so
+        distinct brokers' solves may run concurrently on worker threads.
+        Returns the solver result and the zone field vector ``x_hat``.
+        """
+        phi = self._basis()
         if self.prior is not None and self.config.use_prior_basis:
-            centered = self.prior.center(values, locations)
+            centered = self.prior.center(pending.values, pending.locations)
             result = reconstruct(
-                centered, locations, phi,
+                centered, pending.locations, phi,
                 solver=self.config.solver,
-                sparsity=solver_sparsity,
-                covariance=covariance,
+                sparsity=pending.solver_sparsity,
+                covariance=pending.covariance,
+                engine=self.config.solver_engine,
             )
             x_hat = self.prior.uncenter(result.x_hat)
         else:
             result = reconstruct(
-                values, locations, phi,
+                pending.values, pending.locations, phi,
                 solver=self.config.solver,
-                sparsity=solver_sparsity,
-                covariance=covariance,
+                sparsity=pending.solver_sparsity,
+                covariance=pending.covariance,
                 center=True,  # physical fields: baseline + sparse variation
+                engine=self.config.solver_engine,
             )
             x_hat = result.x_hat
+        return result, x_hat
+
+    def finalize_round(
+        self,
+        pending: _PendingRound,
+        result: Reconstruction,
+        x_hat: np.ndarray,
+    ) -> ZoneEstimate:
+        """Phase 3: adapt state from the solve and emit the estimate."""
+        locations = pending.locations
+        values = pending.values
+        k_est = pending.k_est
+        telemetry = pending.telemetry
+        collected_noise_stds = pending.noise_stds
+        timestamp = pending.timestamp
+        planned_m = pending.planned_m
+        refused = telemetry.refused
+        infra_reads = telemetry.infra_reads
 
         # Adapt the sparsity estimate for the next round.  Shrink toward
         # the effective sparsity actually used; but if the fit left a
@@ -593,9 +680,9 @@ class Broker:
         norm_values = max(float(np.linalg.norm(values)), 1e-300)
         residual_rel = float(np.linalg.norm(values - fitted)) / norm_values
         noise_floor = 0.0
-        if collected.noise_stds:
+        if collected_noise_stds:
             noise_floor = float(
-                np.linalg.norm(collected.noise_stds)
+                np.linalg.norm(collected_noise_stds)
             ) / norm_values
         if residual_rel > max(2.0 * noise_floor, 0.02):
             self.last_sparsity = min(
@@ -631,7 +718,7 @@ class Broker:
             reconstruction=result,
             plan=actual_plan,
             timestamp=timestamp,
-            reports_ok=len(collected.locations) - infra_reads,
+            reports_ok=int(locations.size) - infra_reads,
             reports_refused=refused,
             infra_reads=infra_reads,
             sparsity_estimate=k_est,
@@ -641,6 +728,40 @@ class Broker:
             planned_m=planned_m,
             degraded=degraded,
         )
+
+    def run_round(
+        self,
+        bus: MessageBus,
+        nodes: dict[str, MobileNode],
+        env: Environment,
+        timestamp: float = 0.0,
+        *,
+        measurements: int | None = None,
+    ) -> ZoneEstimate:
+        """Execute one compressive aggregation round (all three phases).
+
+        Parameters
+        ----------
+        bus:
+            Transport; the broker and all member nodes must be registered.
+        nodes:
+            Node objects by id (the simulation's handle to make members
+            answer their commands).
+        env:
+            Ground-truth environment the sensors read.
+        measurements:
+            Explicit M override (used by sweeps); default: policy choice.
+
+        Raises
+        ------
+        RuntimeError
+            If no usable measurements could be collected.
+        """
+        pending = self.collect_round(
+            bus, nodes, env, timestamp, measurements=measurements
+        )
+        result, x_hat = self.solve_round(pending)
+        return self.finalize_round(pending, result, x_hat)
 
     # -- context aggregation ----------------------------------------------
 

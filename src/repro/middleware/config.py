@@ -105,6 +105,23 @@ class BrokerConfig:
     # coverage so the effective M stays near the planned M — a dropped
     # row of Phi is replaced instead of mourned.
     topup_resampling: bool = False
+    # Solver engine: "fast" (matrix-free adjoint correlation, incremental
+    # QR refits, shared bases) or "reference" (the seed's dense loops,
+    # kept as the perf baseline and equivalence oracle).
+    solver_engine: str = "fast"
+    # Use matrix-free operator bases (scipy.fft DCT plans) instead of
+    # dense N x N matrices where an operator form exists (dct, dct2).
+    # Only honoured by the fast engine; the reference engine always
+    # densifies.
+    operator_basis: bool = True
+    # Fan the per-zone solve phase over a thread pool at the LocalCloud /
+    # hierarchy layer.  Collection (bus traffic, RNG draws) and
+    # finalisation (state mutation) stay serial in zone order, so the
+    # estimates are bit-identical to a serial run.
+    parallel_reconstruction: bool = False
+    # Thread-pool size for parallel reconstruction; None sizes the pool
+    # to min(pending zones, CPU count).
+    reconstruction_workers: int | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -118,6 +135,13 @@ class BrokerConfig:
             raise ValueError("command_retries must be non-negative")
         if self.retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be non-negative")
+        if self.solver_engine not in ("fast", "reference"):
+            raise ValueError(f"unknown solver_engine {self.solver_engine!r}")
+        if (
+            self.reconstruction_workers is not None
+            and self.reconstruction_workers < 1
+        ):
+            raise ValueError("reconstruction_workers must be >= 1")
 
 
 @dataclass(frozen=True)

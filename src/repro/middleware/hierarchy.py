@@ -22,7 +22,7 @@ from ..network.bus import MessageBus
 from ..network.links import LTE, LinkModel
 from ..sensors.base import Environment
 from .config import BrokerConfig, HierarchyConfig
-from .localcloud import LocalCloud, LocalCloudResult
+from .localcloud import LocalCloud, LocalCloudResult, solve_pending_rounds
 
 __all__ = ["GlobalEstimate", "Hierarchy"]
 
@@ -75,6 +75,7 @@ class Hierarchy:
         rng: np.random.Generator | int | None = None,
     ) -> None:
         self.config = config or HierarchyConfig()
+        self.broker_config = broker_config or BrokerConfig()
         self.bus = bus or MessageBus()
         self.bus.register(self.CLOUD_ADDRESS, uplink)
         self.zone_grid = ZoneGrid(
@@ -144,8 +145,12 @@ class Hierarchy:
             :meth:`zone_budgets`); zones not listed use their brokers'
             own policy.
         """
-        zone_results: dict[int, LocalCloudResult] = {}
-        subfields: dict[int, SpatialField] = {}
+        # Collect every zone serially (bus traffic + RNG draws), then
+        # solve the flat batch of pending rounds — across a thread pool
+        # when the broker config enables parallel reconstruction — and
+        # finalise serially in zone order.  The phase split keeps the
+        # global estimate bit-identical whether or not the pool is used.
+        pending_by_zone: dict[int, list] = {}
         for zone in self.zone_grid:
             lc = self.localclouds[zone.zone_id]
             budgets = None
@@ -154,9 +159,25 @@ class Hierarchy:
                     zone_measurements[zone.zone_id], len(lc.nanoclouds)
                 )
                 budgets = per_nc
-            result = lc.run_round(
+            pending_by_zone[zone.zone_id] = lc.collect_rounds(
                 env, timestamp, measurements_per_nc=budgets
             )
+        flat = [
+            pair
+            for zone in self.zone_grid
+            for pair in pending_by_zone[zone.zone_id]
+        ]
+        solved_flat = solve_pending_rounds(flat, self.broker_config)
+
+        zone_results: dict[int, LocalCloudResult] = {}
+        subfields: dict[int, SpatialField] = {}
+        cursor = 0
+        for zone in self.zone_grid:
+            lc = self.localclouds[zone.zone_id]
+            pairs = pending_by_zone[zone.zone_id]
+            solved = solved_flat[cursor : cursor + len(pairs)]
+            cursor += len(pairs)
+            result = lc.finish_round(pairs, solved, timestamp)
             lc.report_upward(self.CLOUD_ADDRESS, result, timestamp)
             zone_results[zone.zone_id] = result
             subfields[zone.zone_id] = result.field

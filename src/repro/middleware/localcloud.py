@@ -11,20 +11,50 @@ the zone estimate it reports upward as a compressed coefficient payload.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.reconstruction import Reconstruction
 from ..fields.field import SpatialField
 from ..network.bus import MessageBus
 from ..network.links import LinkModel, WIFI
 from ..network.message import Message, MessageKind
 from ..sensors.base import Environment
-from .broker import ZoneEstimate
+from .broker import Broker, ZoneEstimate, _PendingRound
 from .config import BrokerConfig
 from .nanocloud import NanoCloud
 
-__all__ = ["LocalCloudResult", "LocalCloud"]
+__all__ = ["LocalCloudResult", "LocalCloud", "solve_pending_rounds"]
+
+# (broker, its collected-but-unsolved round)
+PendingPair = tuple[Broker, _PendingRound]
+SolvedRound = tuple[Reconstruction, np.ndarray]
+
+
+def solve_pending_rounds(
+    pairs: list[PendingPair], config: BrokerConfig
+) -> list[SolvedRound]:
+    """Run the solve phase for a batch of collected rounds.
+
+    With ``config.parallel_reconstruction`` the solves fan out over a
+    thread pool — each pending round belongs to a distinct broker, the
+    solve phase touches no shared mutable state, and results come back
+    in input order, so the output is bit-identical to the serial path.
+    NumPy/SciPy release the GIL inside the heavy kernels, which is where
+    the wall-clock win comes from.
+    """
+    if config.parallel_reconstruction and len(pairs) > 1:
+        workers = config.reconstruction_workers or min(
+            len(pairs), os.cpu_count() or 1
+        )
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda pair: pair[0].solve_round(pair[1]), pairs)
+            )
+    return [broker.solve_round(pending) for broker, pending in pairs]
 
 
 @dataclass
@@ -77,6 +107,7 @@ class LocalCloud:
         self.lc_id = lc_id
         self.head_address = f"{lc_id}/head"
         self.bus = bus
+        self.config = config or BrokerConfig()
         self.zone_width = zone_width
         self.zone_height = zone_height
         self.origin = origin
@@ -119,33 +150,51 @@ class LocalCloud:
     def n_nodes(self) -> int:
         return sum(nc.n_nodes for nc in self.nanoclouds)
 
-    def run_round(
+    def collect_rounds(
         self,
         env: Environment,
         timestamp: float = 0.0,
         measurements_per_nc: list[int] | None = None,
-    ) -> LocalCloudResult:
-        """Aggregate every NanoCloud and concatenate their sub-fields.
+    ) -> list[PendingPair]:
+        """Collection phase for every NanoCloud, serially in NC order.
 
-        Each NC broker forwards its result to the head as an AGGREGATE
-        message carrying the compressed coefficient payload (metered).
+        All bus traffic and RNG draws happen here; the returned pairs
+        capture each NC's broker (post-heartbeat, so failovers are
+        resolved) with its pending round for a later solve phase.
         """
         if measurements_per_nc is not None and len(measurements_per_nc) != len(
             self.nanoclouds
         ):
             raise ValueError("one measurement budget per NanoCloud required")
-        estimates: list[ZoneEstimate] = []
-        columns: list[np.ndarray] = []
+        pairs: list[PendingPair] = []
         for idx, nc in enumerate(self.nanoclouds):
             m = measurements_per_nc[idx] if measurements_per_nc else None
-            estimate = nc.run_round(env, timestamp, measurements=m)
+            pending = nc.collect_round(env, timestamp, measurements=m)
+            pairs.append((nc.broker, pending))
+        return pairs
+
+    def finish_round(
+        self,
+        pairs: list[PendingPair],
+        solved: list[SolvedRound],
+        timestamp: float,
+    ) -> LocalCloudResult:
+        """Finalisation phase: adapt broker state serially in NC order,
+        forward each NC's AGGREGATE message, and concatenate sub-fields.
+        """
+        estimates: list[ZoneEstimate] = []
+        columns: list[np.ndarray] = []
+        for idx, ((broker, pending), (result, x_hat)) in enumerate(
+            zip(pairs, solved)
+        ):
+            estimate = broker.finalize_round(pending, result, x_hat)
             estimates.append(estimate)
             columns.append(estimate.field.grid)
             support = int(estimate.reconstruction.support.size)
             self.bus.send(
                 Message(
                     kind=MessageKind.AGGREGATE,
-                    source=nc.broker.broker_id,
+                    source=broker.broker_id,
                     destination=self.head_address,
                     payload={"nc": idx, "support": support},
                     payload_values=max(2 * support, 1),
@@ -160,6 +209,24 @@ class LocalCloud:
         return LocalCloudResult(
             field=field, nc_estimates=estimates, timestamp=timestamp
         )
+
+    def run_round(
+        self,
+        env: Environment,
+        timestamp: float = 0.0,
+        measurements_per_nc: list[int] | None = None,
+    ) -> LocalCloudResult:
+        """Aggregate every NanoCloud and concatenate their sub-fields.
+
+        Each NC broker forwards its result to the head as an AGGREGATE
+        message carrying the compressed coefficient payload (metered).
+        With ``parallel_reconstruction`` in the broker config, the solve
+        phase fans the NC reconstructions over a thread pool; collection
+        and finalisation stay serial, so the result is identical.
+        """
+        pairs = self.collect_rounds(env, timestamp, measurements_per_nc)
+        solved = solve_pending_rounds(pairs, self.config)
+        return self.finish_round(pairs, solved, timestamp)
 
     def report_upward(
         self, cloud_address: str, result: LocalCloudResult, timestamp: float

@@ -343,6 +343,25 @@ class NanoCloud:
             self.bus, self.nodes, env, timestamp, measurements=measurements
         )
 
+    def collect_round(
+        self,
+        env: Environment,
+        timestamp: float = 0.0,
+        measurements: int | None = None,
+    ):
+        """Collection phase only (heartbeat + membership + commanding).
+
+        Used by the LocalCloud/hierarchy layers to gather every zone's
+        measurements serially before fanning the solve phase over a
+        thread pool; see :meth:`repro.middleware.broker.Broker.solve_round`.
+        Returns the broker's pending-round record.
+        """
+        self.heartbeat(timestamp)
+        self.refresh_membership()
+        return self.broker.collect_round(
+            self.bus, self.nodes, env, timestamp, measurements=measurements
+        )
+
     def total_node_energy_mj(self) -> float:
         """Sensing+CPU energy drawn from the member phones so far."""
         return sum(node.ledger.total_mj() for node in self.nodes.values())

@@ -1,0 +1,164 @@
+"""Tests for repro.core.operators and the shared basis registry.
+
+The matrix-free operators must be *exact* stand-ins for the dense
+synthesis matrices — synthesis, analysis and sampled rows all agree to
+floating-point round-off — or the fast solver path would silently drift
+from the reference algorithm.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import dct2_basis, dct_basis
+from repro.core.operators import (
+    BasisOperator,
+    DCT2Operator,
+    DCTOperator,
+    dct_sampled_rows,
+)
+from repro.core.registry import (
+    clear_registry,
+    has_operator,
+    registry_info,
+    shared_basis,
+    shared_dct2_basis,
+    shared_dct2_operator,
+    shared_operator,
+)
+
+
+class TestDCTOperator:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 33, 128])
+    def test_to_dense_matches_basis(self, n):
+        assert np.allclose(
+            DCTOperator(n).to_dense(), dct_basis(n), atol=1e-12
+        )
+
+    def test_synthesize_matches_dense(self):
+        rng = np.random.default_rng(0)
+        n = 64
+        op = DCTOperator(n)
+        phi = dct_basis(n)
+        alpha = rng.standard_normal(n)
+        assert np.allclose(op.synthesize(alpha), phi @ alpha, atol=1e-12)
+
+    def test_analyze_matches_dense(self):
+        rng = np.random.default_rng(1)
+        n = 64
+        op = DCTOperator(n)
+        phi = dct_basis(n)
+        x = rng.standard_normal(n)
+        assert np.allclose(op.analyze(x), phi.T @ x, atol=1e-12)
+
+    def test_round_trip_identity(self):
+        rng = np.random.default_rng(2)
+        op = DCTOperator(50)
+        x = rng.standard_normal(50)
+        assert np.allclose(op.synthesize(op.analyze(x)), x, atol=1e-10)
+
+    @given(
+        n=st.integers(min_value=1, max_value=96),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_rows_match_dense_rows(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, n + 1))
+        rows = rng.choice(n, size=m, replace=False)
+        assert np.allclose(
+            dct_sampled_rows(n, rows), dct_basis(n)[rows, :], atol=1e-12
+        )
+
+    def test_shape_attribute(self):
+        op = DCTOperator(12)
+        assert op.n == 12 and op.shape == (12, 12)
+        assert isinstance(op, BasisOperator)
+
+
+class TestDCT2Operator:
+    @pytest.mark.parametrize("w,h", [(1, 1), (3, 5), (8, 8), (6, 11)])
+    def test_to_dense_matches_kron(self, w, h):
+        assert np.allclose(
+            DCT2Operator(w, h).to_dense(), dct2_basis(w, h), atol=1e-12
+        )
+
+    def test_synthesize_matches_dense(self):
+        rng = np.random.default_rng(3)
+        w, h = 7, 9
+        op = DCT2Operator(w, h)
+        phi = dct2_basis(w, h)
+        alpha = rng.standard_normal(w * h)
+        assert np.allclose(op.synthesize(alpha), phi @ alpha, atol=1e-12)
+
+    def test_analyze_matches_dense(self):
+        rng = np.random.default_rng(4)
+        w, h = 7, 9
+        op = DCT2Operator(w, h)
+        phi = dct2_basis(w, h)
+        x = rng.standard_normal(w * h)
+        assert np.allclose(op.analyze(x), phi.T @ x, atol=1e-12)
+
+    @given(
+        w=st.integers(min_value=1, max_value=9),
+        h=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_rows_match_dense_rows(self, w, h, seed):
+        rng = np.random.default_rng(seed)
+        n = w * h
+        m = int(rng.integers(1, n + 1))
+        rows = rng.choice(n, size=m, replace=False)
+        assert np.allclose(
+            DCT2Operator(w, h).rows(rows),
+            dct2_basis(w, h)[rows, :],
+            atol=1e-12,
+        )
+
+    def test_never_materialises_dense_in_rows(self):
+        # Sampled rows of a large field must stay O(M*N): with
+        # N = 128*128 = 16384 the dense basis would be 2 GiB, so simply
+        # succeeding here demonstrates the matrix-free path.
+        op = DCT2Operator(128, 128)
+        rows = op.rows(np.array([0, 5000, 16383]))
+        assert rows.shape == (3, 16384)
+        alpha = np.zeros(16384)
+        alpha[3] = 1.0
+        x = op.synthesize(alpha)
+        assert np.isclose(float(alpha @ op.analyze(x)), 1.0, atol=1e-9)
+
+
+class TestRegistry:
+    def test_shared_basis_is_memoised_and_readonly(self):
+        a = shared_basis("dct", 24)
+        b = shared_basis("dct", 24)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0, 0] = 1.0
+
+    def test_shared_dct2_basis_is_memoised(self):
+        assert shared_dct2_basis(4, 6) is shared_dct2_basis(4, 6)
+        assert shared_dct2_basis(4, 6) is not shared_dct2_basis(6, 4)
+
+    def test_shared_operators_are_memoised(self):
+        assert shared_operator("dct", 32) is shared_operator("dct", 32)
+        assert shared_dct2_operator(5, 7) is shared_dct2_operator(5, 7)
+
+    def test_has_operator(self):
+        assert has_operator("dct")
+        assert not has_operator("haar")
+        with pytest.raises(ValueError):
+            shared_operator("haar", 16)
+
+    def test_registry_info_and_clear(self):
+        clear_registry()
+        shared_basis("identity", 8)
+        info = registry_info()
+        assert info["basis"].misses >= 1
+        shared_basis("identity", 8)
+        assert registry_info()["basis"].hits >= 1
+        clear_registry()
+        assert registry_info()["basis"].currsize == 0
