@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-perf report examples clean
+.PHONY: install test lint bench bench-perf bench-async report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,12 @@ bench:
 bench-perf:
 	REPRO_PERF_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_perf_solver_core.py --benchmark-disable -s
+
+# Smoke-mode event-driven round bench: a short link-latency x deadline
+# sweep.  Unset REPRO_ASYNC_SMOKE for the full ASYNC-LAT series.
+bench-async:
+	REPRO_ASYNC_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_async_rounds.py --benchmark-disable -s
 
 report: bench
 	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md

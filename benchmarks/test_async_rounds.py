@@ -1,0 +1,156 @@
+"""ASYNC-LAT — event-driven rounds under real link latency.
+
+The lockstep engine treats a sensing round as instantaneous: command,
+report and solve all land at the same simulated instant.  The
+event-driven pipeline makes the round's cost visible — every command and
+report rides the link's transfer latency, stragglers are retried with
+backoff, and the report deadline bounds how long a broker waits before
+solving with what arrived.
+
+This bench sweeps link base latency x report deadline on a small
+smart-building deployment with per-zone periods/offsets and a lossy
+channel, and reports per zone: rounds finished, partial solves, mean
+command-to-estimate round latency, and reconstruction error.  The
+paper's claim made quantitative: round latency tracks the transport
+(two message legs plus retries), not the solver, and the deadline caps
+it.
+
+Smoke mode (``REPRO_ASYNC_SMOKE=1``) shrinks the sweep so CI exercises
+the full event path in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace as dc_replace
+
+import numpy as np
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.scenario import smart_building_scenario
+
+from _util import record_series
+
+SMOKE = os.environ.get("REPRO_ASYNC_SMOKE", "") not in ("", "0")
+
+LINK_LATENCIES_S = (0.1, 0.4) if SMOKE else (0.05, 0.2, 0.5)
+DEADLINES_S = (6.0,) if SMOKE else (4.0, 8.0)
+DURATION_S = 60.0 if SMOKE else 240.0
+NODES_PER_NC = 12 if SMOKE else 24
+
+ZONE_PERIODS = {0: 20.0, 1: 30.0}
+ZONE_OFFSETS = {0: 3.0, 1: 9.0}
+LOSS_RATE = 0.08
+
+
+def _run(link_latency_s: float, deadline_s: float, duration_s: float):
+    """One async run; returns (result, outcomes) with the raw
+    ZoneRoundOutcomes (the partial flag lives there, not on the record)."""
+    scenario = smart_building_scenario(
+        width=16, height=8, zones_x=2, zones_y=1,
+        nodes_per_nc=NODES_PER_NC,
+        zone_periods=ZONE_PERIODS,
+        zone_offsets=ZONE_OFFSETS,
+        latency_mode="link",
+        link_latency_s=link_latency_s,
+        rng=13,
+    )
+    bus = scenario.system.hierarchy.bus
+    bus.loss_rate = LOSS_RATE
+    bus._loss_rng.seed(41)  # the hierarchy builds its bus unseeded
+    # One retry with a short timeout: a lost report costs a timeout plus
+    # a full command/report round trip, so straggler recovery itself
+    # rides the link latency instead of flattening at the timeout.
+    for lc in scenario.system.hierarchy.localclouds.values():
+        lc.config = dc_replace(
+            lc.config, command_retries=1, report_timeout_s=1.5
+        )
+        for nc in lc.nanoclouds:
+            nc.broker.config = dc_replace(
+                nc.broker.config, command_retries=1, report_timeout_s=1.5
+            )
+    engine = SimulationEngine(
+        scenario.system,
+        round_mode="async",
+        zone_schedules=scenario.schedules,
+        latency_mode=scenario.latency_mode,
+        report_deadline_s=deadline_s,
+        rng=5,
+    )
+    outcomes = []
+    inner = engine._record_zone_round
+
+    def record(outcome):
+        outcomes.append(outcome)
+        inner(outcome)
+
+    engine._record_zone_round = record
+    result = engine.run(duration_s)
+    return result, outcomes
+
+
+def test_async_latency_sweep(benchmark):
+    rows = []
+    sweep_means = {}
+    for link_latency_s in LINK_LATENCIES_S:
+        for deadline_s in DEADLINES_S:
+            result, outcomes = _run(link_latency_s, deadline_s, DURATION_S)
+            assert result.rounds, "no rounds recorded"
+            partials_by_zone: dict[int, int] = {}
+            for outcome in outcomes:
+                if outcome.partial:
+                    partials_by_zone[outcome.zone_id] = (
+                        partials_by_zone.get(outcome.zone_id, 0) + 1
+                    )
+            for zone_id, records in sorted(result.rounds_by_zone().items()):
+                latencies = [r.round_latency_s for r in records]
+                errors = [r.relative_error for r in records]
+                rows.append(
+                    [
+                        link_latency_s,
+                        deadline_s,
+                        zone_id,
+                        len(records),
+                        partials_by_zone.get(zone_id, 0),
+                        float(np.mean(latencies)),
+                        float(np.max(latencies)),
+                        float(np.mean(errors)),
+                    ]
+                )
+            sweep_means[(link_latency_s, deadline_s)] = (
+                result.mean_round_latency_s()
+            )
+
+            # The deadline is a hard cap on the collection window: no
+            # round's latency may exceed it.
+            for record in result.rounds:
+                assert 0.0 < record.round_latency_s <= deadline_s + 1e-9
+
+    # Round latency tracks the transport: a slower link means slower
+    # rounds at every deadline.
+    for deadline_s in DEADLINES_S:
+        means = [
+            sweep_means[(lat, deadline_s)] for lat in LINK_LATENCIES_S
+        ]
+        assert means == sorted(means)
+        assert means[-1] > means[0]
+
+    # Estimates stay useful despite loss, retries and partial solves.
+    assert all(row[7] < 0.6 for row in rows)
+
+    record_series(
+        "ASYNC-LAT",
+        "per-zone round latency vs link latency and report deadline",
+        [
+            "link_s", "deadline_s", "zone", "rounds", "partial",
+            "mean_lat_s", "max_lat_s", "rel_err",
+        ],
+        rows,
+        notes=(
+            f"loss_rate={LOSS_RATE}, periods={ZONE_PERIODS}, "
+            f"offsets={ZONE_OFFSETS}"
+            + ("; SMOKE sweep" if SMOKE else "")
+        ),
+    )
+
+    benchmark(lambda: _run(LINK_LATENCIES_S[0], DEADLINES_S[0], 60.0))

@@ -32,7 +32,7 @@ from _util import record_series
 def _flat_gather(n_nodes: int, values_per_node: int = 1) -> tuple[int, int]:
     """Flat architecture: all nodes report to one sink.
 
-    Returns (busiest endpoint messages, total bytes)."""
+    Returns (busiest endpoint messages, total bytes, mean latency)."""
     bus = MessageBus()
     bus.register("sink")
     for i in range(n_nodes):
@@ -49,12 +49,12 @@ def _flat_gather(n_nodes: int, values_per_node: int = 1) -> tuple[int, int]:
     busiest = max(
         bus.endpoint(a).stats.messages for a in bus.addresses
     )
-    return busiest, bus.stats.bytes
+    return busiest, bus.stats.bytes, bus.stats.mean_latency_s
 
 
 def _hierarchical_gather(zones_x: int, zones_y: int, nodes_per_zone: int):
     """One hierarchical global round; returns (busiest endpoint messages,
-    total bytes, relative error, total nodes)."""
+    total bytes, relative error, total nodes, mean per-message latency)."""
     width, height = 8 * zones_x, 8 * zones_y
     truth = urban_temperature_field(width, height, rng=3)
     env = Environment(fields={"temperature": truth})
@@ -74,7 +74,7 @@ def _hierarchical_gather(zones_x: int, zones_y: int, nodes_per_zone: int):
         h.bus.endpoint(a).stats.messages for a in h.bus.addresses
     )
     err = metrics.relative_error(truth.vector(), estimate.field.vector())
-    return busiest, h.bus.stats.bytes, err, h.n_nodes
+    return busiest, h.bus.stats.bytes, err, h.n_nodes, h.bus.stats.mean_latency_s
 
 
 def test_fig1_sink_bottleneck(benchmark):
@@ -82,10 +82,10 @@ def test_fig1_sink_bottleneck(benchmark):
     flat_busiest_by_nodes = {}
     for zones_x, zones_y in ((2, 1), (2, 2), (4, 2), (4, 4)):
         nodes_per_zone = 48
-        busiest_h, bytes_h, err, total_nodes = _hierarchical_gather(
+        busiest_h, bytes_h, err, total_nodes, lat_h = _hierarchical_gather(
             zones_x, zones_y, nodes_per_zone
         )
-        busiest_f, bytes_f = _flat_gather(total_nodes)
+        busiest_f, bytes_f, lat_f = _flat_gather(total_nodes)
         flat_busiest_by_nodes[total_nodes] = busiest_f
         rows.append(
             [
@@ -96,12 +96,16 @@ def test_fig1_sink_bottleneck(benchmark):
                 round(busiest_f / busiest_h, 2),
                 bytes_f,
                 bytes_h,
+                lat_f,
+                lat_h,
                 err,
             ]
         )
 
     # The paper's claim: flat sink load grows linearly with the fleet;
-    # hierarchical per-broker load stays roughly constant.
+    # hierarchical per-broker load stays roughly constant.  Mean
+    # per-message latency stays flat in both arms (it is a link
+    # property), so the hierarchy's win is load, not transport speed.
     flat_loads = [row[2] for row in rows]
     hier_loads = [row[3] for row in rows]
     assert flat_loads[-1] / flat_loads[0] > 6  # ~linear in N
@@ -113,7 +117,8 @@ def test_fig1_sink_bottleneck(benchmark):
         "sink bottleneck: flat vs multi-tier hierarchy",
         [
             "nodes", "zones", "flat_busiest_msgs", "hier_busiest_msgs",
-            "bottleneck_ratio", "flat_bytes", "hier_bytes", "hier_err",
+            "bottleneck_ratio", "flat_bytes", "hier_bytes",
+            "flat_mean_lat_s", "hier_mean_lat_s", "hier_err",
         ],
         rows,
         notes="flat = all nodes to one sink; hier = NC brokers + LC heads + cloud",

@@ -55,22 +55,24 @@ def test_fig2_roundtrip_accounting(benchmark):
         nc.run_round(env, measurements=min(m, N))  # warm-up
         before_msgs = nc.bus.stats.messages
         before_bytes = nc.bus.stats.bytes
+        before_lat = nc.bus.stats.latency_sum_s
         estimate = nc.run_round(env, timestamp=1.0, measurements=min(m, N))
         msgs = nc.bus.stats.messages - before_msgs
         transferred = nc.bus.stats.bytes - before_bytes
+        mean_lat = (nc.bus.stats.latency_sum_s - before_lat) / msgs
         err = metrics.relative_error(truth.vector(), estimate.field.vector())
-        rows.append([estimate.m, msgs, transferred, err])
+        rows.append([estimate.m, msgs, transferred, mean_lat, err])
 
     # Command + report per measurement: messages == 2 M exactly.
     for row in rows:
         assert row[1] == 2 * row[0]
     # Error decreases with M (Fig. 4's law at zone level).
-    assert rows[-1][3] < rows[0][3]
+    assert rows[-1][4] < rows[0][4]
 
     record_series(
         "FIG2a",
         "NanoCloud round: messages and bytes vs M",
-        ["M", "messages", "bytes", "rel_err"],
+        ["M", "messages", "bytes", "mean_lat_s", "rel_err"],
         rows,
         notes="exactly one SENSE_COMMAND + one SENSE_REPORT per measurement",
     )

@@ -144,6 +144,24 @@ class SenseDroid:
             truth.vector(), estimate.field.vector()
         )
 
+    def zone_error(self, zone_id: int, zone_field: SpatialField) -> float:
+        """Relative L2 error of one zone's field vs its truth block.
+
+        Event-driven rounds finish per zone at different sim times, so
+        there is no global estimate to score — each zone's estimate is
+        compared against the ground truth *restricted to that zone*.
+        """
+        zone = next(
+            z for z in self.hierarchy.zone_grid if z.zone_id == zone_id
+        )
+        truth = self.env.fields[self.sensor_name]
+        block = truth.grid[
+            zone.y0 : zone.y0 + zone.height, zone.x0 : zone.x0 + zone.width
+        ]
+        return metrics.relative_error(
+            block.ravel(order="F"), zone_field.vector()
+        )
+
     # -- contexts ----------------------------------------------------------
 
     def sense_contexts(self, compressive: bool = True) -> dict[str, str]:

@@ -115,6 +115,24 @@ class _RoundTelemetry:
 
 
 @dataclass
+class _RoundPlan:
+    """One round's sampling decisions, frozen before any bus traffic.
+
+    :meth:`Broker.plan_round` performs every RNG draw of the round's
+    planning (the stochastic spatial sampling) and snapshots the member
+    map, so the synchronous collect loop and the event-driven round
+    driver command the exact same cells from the exact same draw
+    sequence.
+    """
+
+    k_est: int
+    planned_m: int
+    candidates: np.ndarray
+    plan: MeasurementPlan
+    members_by_cell: dict[int, list[str]]
+
+
+@dataclass
 class _PendingRound:
     """One round's collected inputs, frozen between collect and solve.
 
@@ -512,25 +530,17 @@ class Broker:
     # LocalCloud / Hierarchy layers drive the phases separately when
     # parallel reconstruction is enabled.
 
-    def collect_round(
-        self,
-        bus: MessageBus,
-        nodes: dict[str, MobileNode],
-        env: Environment,
-        timestamp: float = 0.0,
-        *,
-        measurements: int | None = None,
-    ) -> _PendingRound:
-        """Phase 1: plan, command, and collect one round's measurements.
+    def plan_round(self, *, measurements: int | None = None) -> _RoundPlan:
+        """Draw one round's sampling plan (all of the round's RNG).
 
-        Performs every side-effecting step of the round — the sampling
-        plan's RNG draws, all command/report bus exchanges, infrastructure
-        reads — and freezes the result into a :class:`_PendingRound`.
+        Shared by the synchronous collect loop and the event-driven
+        round driver, so both command the same cells from the same draw
+        sequence.
 
         Raises
         ------
         RuntimeError
-            If no usable measurements could be collected.
+            If the broker has no coverage to sample from.
         """
         k_est = self._sparsity_estimate()
         m = (
@@ -542,63 +552,57 @@ class Broker:
         if candidates.size == 0:
             raise RuntimeError(f"broker {self.broker_id} has no coverage")
         plan = self._make_plan(m, candidates)
-
         members_by_cell: dict[int, list[str]] = {}
         for node_id, cell in self.members.items():
             members_by_cell.setdefault(cell, []).append(node_id)
+        return _RoundPlan(
+            k_est=k_est,
+            planned_m=plan.m,
+            candidates=candidates,
+            plan=plan,
+            members_by_cell=members_by_cell,
+        )
 
-        collected = _Collected()
-        telemetry = _RoundTelemetry()
-        planned_m = plan.m
-        for cell in plan.locations.tolist():
-            self._collect_cell(
-                cell, members_by_cell, nodes, bus, env, timestamp,
-                collected, telemetry,
-            )
+    def _infra_sweep(
+        self,
+        collected: _Collected,
+        telemetry: _RoundTelemetry,
+        env: Environment,
+        timestamp: float,
+    ) -> None:
+        """Last-ditch graceful degradation: the whole crowd is dark
+        (total loss, partition, mass churn) but the zone still owns
+        fixed sensors — read them all rather than abort."""
+        for cell in sorted(self.infrastructure):
+            value, noise_std = self._read_infrastructure(cell, env, timestamp)
+            telemetry.infra_reads += 1
+            collected.locations.append(cell)
+            collected.values.append(value)
+            collected.noise_stds.append(noise_std or 0.0)
 
-        if (
-            self.config.topup_resampling
-            and len(collected.locations) < planned_m
-        ):
-            # Replacement sampling: a lost report is just a dropped row
-            # of Phi — draw substitute cells from the uncommanded
-            # coverage until the effective M is back near the plan (or
-            # the coverage runs out).
-            attempted = set(plan.locations.tolist())
-            spare = np.array(
-                [c for c in candidates.tolist() if c not in attempted],
-                dtype=int,
-            )
-            for idx in self._rng.permutation(spare.size):
-                if len(collected.locations) >= planned_m:
-                    break
-                self._collect_cell(
-                    int(spare[idx]), members_by_cell, nodes, bus, env,
-                    timestamp, collected, telemetry,
-                )
+    def _freeze_round(
+        self,
+        collected: _Collected,
+        telemetry: _RoundTelemetry,
+        k_est: int,
+        planned_m: int,
+        timestamp: float,
+    ) -> _PendingRound:
+        """Freeze a round's collected inputs for the solve phase.
 
-        if not collected.locations and self.infrastructure:
-            # Last-ditch graceful degradation: the whole crowd is dark
-            # (total loss, partition, mass churn) but the zone still
-            # owns fixed sensors — read them all rather than abort.
-            for cell in sorted(self.infrastructure):
-                value, noise_std = self._read_infrastructure(
-                    cell, env, timestamp
-                )
-                telemetry.infra_reads += 1
-                collected.locations.append(cell)
-                collected.values.append(value)
-                collected.noise_stds.append(noise_std or 0.0)
-
+        Raises
+        ------
+        RuntimeError
+            If nothing was collected (no reports, no infrastructure).
+        """
         if not collected.locations:
             raise RuntimeError(
                 f"broker {self.broker_id} collected no measurements "
-                f"from {plan.m} commanded cells ({telemetry.refused} "
+                f"from {planned_m} commanded cells ({telemetry.refused} "
                 f"refused, {telemetry.commands_lost} commands and "
                 f"{telemetry.reports_lost} reports lost) and no "
                 "infrastructure"
             )
-
         locations = np.asarray(collected.locations, dtype=int)
         values = np.asarray(collected.values, dtype=float)
         covariance = None
@@ -620,6 +624,66 @@ class Broker:
             planned_m=planned_m,
             timestamp=timestamp,
             telemetry=telemetry,
+        )
+
+    def collect_round(
+        self,
+        bus: MessageBus,
+        nodes: dict[str, MobileNode],
+        env: Environment,
+        timestamp: float = 0.0,
+        *,
+        measurements: int | None = None,
+    ) -> _PendingRound:
+        """Phase 1: plan, command, and collect one round's measurements.
+
+        Performs every side-effecting step of the round — the sampling
+        plan's RNG draws, all command/report bus exchanges, infrastructure
+        reads — and freezes the result into a :class:`_PendingRound`.
+
+        Raises
+        ------
+        RuntimeError
+            If no usable measurements could be collected.
+        """
+        round_plan = self.plan_round(measurements=measurements)
+        members_by_cell = round_plan.members_by_cell
+
+        collected = _Collected()
+        telemetry = _RoundTelemetry()
+        planned_m = round_plan.planned_m
+        for cell in round_plan.plan.locations.tolist():
+            self._collect_cell(
+                cell, members_by_cell, nodes, bus, env, timestamp,
+                collected, telemetry,
+            )
+
+        if (
+            self.config.topup_resampling
+            and len(collected.locations) < planned_m
+        ):
+            # Replacement sampling: a lost report is just a dropped row
+            # of Phi — draw substitute cells from the uncommanded
+            # coverage until the effective M is back near the plan (or
+            # the coverage runs out).
+            attempted = set(round_plan.plan.locations.tolist())
+            spare = np.array(
+                [c for c in round_plan.candidates.tolist() if c not in attempted],
+                dtype=int,
+            )
+            for idx in self._rng.permutation(spare.size):
+                if len(collected.locations) >= planned_m:
+                    break
+                self._collect_cell(
+                    int(spare[idx]), members_by_cell, nodes, bus, env,
+                    timestamp, collected, telemetry,
+                )
+
+        if not collected.locations and self.infrastructure:
+            self._infra_sweep(collected, telemetry, env, timestamp)
+
+        return self._freeze_round(
+            collected, telemetry, round_plan.k_est, planned_m, timestamp
         )
 
     def solve_round(

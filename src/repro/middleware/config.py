@@ -105,6 +105,17 @@ class BrokerConfig:
     # coverage so the effective M stays near the planned M — a dropped
     # row of Phi is replaced instead of mourned.
     topup_resampling: bool = False
+    # Event-driven rounds (latency_mode="link"): sim seconds after the
+    # commands go out at which the broker stops waiting and solves with
+    # whatever reports arrived — the partial-solve deadline of the
+    # COLLECTING state.  Ignored on the synchronous zero-latency path
+    # where every exchange completes within the round instant.
+    report_deadline_s: float = 10.0
+    # Event-driven rounds: how long to wait for one command's report
+    # before retrying (or moving to the next co-located candidate).
+    # Doubles per retry attempt.  Must comfortably exceed the command +
+    # report round-trip latency of the slowest link in play.
+    report_timeout_s: float = 2.0
     # Solver engine: "fast" (matrix-free adjoint correlation, incremental
     # QR refits, shared bases) or "reference" (the seed's dense loops,
     # kept as the perf baseline and equivalence oracle).
@@ -135,6 +146,10 @@ class BrokerConfig:
             raise ValueError("command_retries must be non-negative")
         if self.retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be non-negative")
+        if self.report_deadline_s <= 0:
+            raise ValueError("report_deadline_s must be positive")
+        if self.report_timeout_s <= 0:
+            raise ValueError("report_timeout_s must be positive")
         if self.solver_engine not in ("fast", "reference"):
             raise ValueError(f"unknown solver_engine {self.solver_engine!r}")
         if (

@@ -23,6 +23,7 @@ from ..network.links import LTE, LinkModel
 from ..sensors.base import Environment
 from .config import BrokerConfig, HierarchyConfig
 from .localcloud import LocalCloud, LocalCloudResult, solve_pending_rounds
+from .rounds import ZoneRoundDriver, ZoneSchedule
 
 __all__ = ["GlobalEstimate", "Hierarchy"]
 
@@ -186,6 +187,52 @@ class Hierarchy:
         return GlobalEstimate(
             field=global_field, zone_results=zone_results, timestamp=timestamp
         )
+
+    def async_drivers(
+        self,
+        env: Environment,
+        clock,
+        *,
+        schedules: dict[int, ZoneSchedule] | None = None,
+        default_period_s: float = 30.0,
+        report_deadline_s: float | None = None,
+        zone_measurements: dict[int, int] | None = None,
+        on_complete=None,
+    ) -> dict[int, ZoneRoundDriver]:
+        """Build one event-driven round driver per zone.
+
+        Each zone's LocalCloud runs on its own period and phase offset
+        (from ``schedules``; unlisted zones use ``default_period_s``)
+        instead of the global lockstep barrier of
+        :meth:`run_global_round`.  Call ``start()`` on each driver (or
+        let the simulation engine do it) to arm the schedules on the
+        clock; every completed round flows through ``on_complete`` as a
+        :class:`repro.middleware.rounds.ZoneRoundOutcome`.
+        """
+        drivers: dict[int, ZoneRoundDriver] = {}
+        for zone in self.zone_grid:
+            lc = self.localclouds[zone.zone_id]
+            schedule = (schedules or {}).get(
+                zone.zone_id, ZoneSchedule(period_s=default_period_s)
+            )
+            budgets = None
+            if zone_measurements and zone.zone_id in zone_measurements:
+                budgets = self._split_budget(
+                    zone_measurements[zone.zone_id], len(lc.nanoclouds)
+                )
+            drivers[zone.zone_id] = ZoneRoundDriver(
+                zone.zone_id,
+                lc,
+                env,
+                clock,
+                period_s=schedule.period_s,
+                offset_s=schedule.offset_s,
+                report_deadline_s=report_deadline_s,
+                cloud_address=self.CLOUD_ADDRESS,
+                measurements_per_nc=budgets,
+                on_complete=on_complete,
+            )
+        return drivers
 
     @staticmethod
     def _split_budget(budget: int, parts: int) -> list[int]:

@@ -325,21 +325,28 @@ class NanoCloud:
         self.broker = acting
         return new_id
 
+    def prepare_round(self, timestamp: float = 0.0) -> Broker:
+        """Pre-round housekeeping shared by every round discipline.
+
+        Heartbeat first (a crash-scheduled broker is replaced by an
+        acting broker before any command goes out, so churn at the
+        coordinator never aborts sensing), then re-map membership to the
+        nodes' current positions.  Returns the — possibly freshly
+        promoted — broker the round should command through.
+        """
+        self.heartbeat(timestamp)
+        self.refresh_membership()
+        return self.broker
+
     def run_round(
         self,
         env: Environment,
         timestamp: float = 0.0,
         measurements: int | None = None,
     ) -> ZoneEstimate:
-        """One compressive aggregation round over this NanoCloud.
-
-        The round starts with a heartbeat: a crash-scheduled broker is
-        replaced by an acting broker before any command goes out, so
-        churn at the coordinator never aborts sensing.
-        """
-        self.heartbeat(timestamp)
-        self.refresh_membership()
-        return self.broker.run_round(
+        """One compressive aggregation round over this NanoCloud."""
+        broker = self.prepare_round(timestamp)
+        return broker.run_round(
             self.bus, self.nodes, env, timestamp, measurements=measurements
         )
 
@@ -356,9 +363,8 @@ class NanoCloud:
         thread pool; see :meth:`repro.middleware.broker.Broker.solve_round`.
         Returns the broker's pending-round record.
         """
-        self.heartbeat(timestamp)
-        self.refresh_membership()
-        return self.broker.collect_round(
+        broker = self.prepare_round(timestamp)
+        return broker.collect_round(
             self.bus, self.nodes, env, timestamp, measurements=measurements
         )
 

@@ -6,10 +6,21 @@ under an address, subscribe to topics, and every delivery is metered
 through a :class:`repro.network.links.LinkModel` so experiments can count
 messages, bytes, latency and radio energy without real sockets.
 
-Delivery is synchronous and deterministic (no threads): ``publish`` and
-``send`` enqueue to the destination's inbox and update the traffic
-accounting immediately.  Higher layers (brokers, the simulation engine)
-drain inboxes explicitly, which keeps every experiment replayable.
+The bus has two delivery disciplines:
+
+- ``latency_mode="zero"`` (default): delivery is synchronous and
+  deterministic (no threads) — ``publish`` and ``send`` enqueue to the
+  destination's inbox and update the traffic accounting immediately.
+  Higher layers drain inboxes explicitly, which keeps every experiment
+  replayable.  This is the seed behaviour, bit-for-bit.
+- ``latency_mode="link"`` with an attached :class:`repro.sim.clock
+  .SimClock`: ``send``/``publish`` *schedule* delivery at ``now +
+  link.transfer_latency_s(message)``.  Loss and fault injection are
+  evaluated at delivery time (the channel eats the message in flight,
+  not at the send call), fault-model extra latency further delays the
+  arrival, and the clock's (time, sequence) ordering keeps interleaved
+  traffic deterministic.  Endpoints may install a ``handler`` to consume
+  arrivals event-style instead of polling an inbox.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from __future__ import annotations
 import random as _random
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .faults import FaultInjector
 from .links import WIFI, LinkModel
@@ -24,16 +36,23 @@ from .message import Message, MessageKind
 
 __all__ = ["TrafficStats", "MessageBus", "Endpoint"]
 
+LATENCY_MODES = ("zero", "link")
+
 
 @dataclass
 class TrafficStats:
-    """Accumulated traffic accounting for one bus or one endpoint."""
+    """Accumulated traffic accounting for one bus or one endpoint.
+
+    ``latency_sum_s`` is the *sum* of per-message transfer latencies
+    (plus any fault-injected extra delay) — divide by ``messages`` for
+    the mean, which :attr:`mean_latency_s` does.
+    """
 
     messages: int = 0
     bytes: int = 0
     transmit_energy_mj: float = 0.0
     receive_energy_mj: float = 0.0
-    latency_s: float = 0.0
+    latency_sum_s: float = 0.0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def record(self, message: Message, link: LinkModel) -> None:
@@ -41,12 +60,25 @@ class TrafficStats:
         self.bytes += message.size_bytes
         self.transmit_energy_mj += link.transfer_energy_mj(message)
         self.receive_energy_mj += link.receive_energy_mj(message)
-        self.latency_s += link.transfer_latency_s(message)
+        self.latency_sum_s += link.transfer_latency_s(message)
         self.by_kind[message.kind.value] += 1
 
     @property
     def total_energy_mj(self) -> float:
         return self.transmit_energy_mj + self.receive_energy_mj
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean per-message latency (0.0 before any traffic)."""
+        if self.messages == 0:
+            return 0.0
+        return self.latency_sum_s / self.messages
+
+    @property
+    def latency_s(self) -> float:
+        """Deprecated alias for :attr:`latency_sum_s` (it was always a
+        sum, never a per-message figure)."""
+        return self.latency_sum_s
 
 
 class Endpoint:
@@ -59,6 +91,10 @@ class Endpoint:
         self.link = link
         self.inbox: deque[Message] = deque()
         self.stats = TrafficStats()
+        # Event-style consumption: when set, an arriving message is
+        # passed to the handler instead of the inbox (the handler may
+        # re-enqueue messages it does not consume).
+        self.handler: Callable[[Message], None] | None = None
         # Per-endpoint fault accounting: messages we transmitted that
         # never arrived, and messages addressed to us that the channel
         # (or our own outage) ate.
@@ -94,6 +130,11 @@ class MessageBus:
         on every delivery, composing bursty loss, degradation windows,
         partitions and crash schedules on top of (or instead of) the
         plain ``loss_rate``.
+    clock / latency_mode:
+        Attach a :class:`repro.sim.clock.SimClock` and set
+        ``latency_mode="link"`` for latency-faithful scheduled delivery;
+        the default ``"zero"`` keeps the synchronous seed path even when
+        a clock is attached.
     """
 
     def __init__(
@@ -102,18 +143,45 @@ class MessageBus:
         loss_rate: float = 0.0,
         seed: int | None = None,
         fault_injector: FaultInjector | None = None,
+        clock=None,
+        latency_mode: str = "zero",
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if latency_mode not in LATENCY_MODES:
+            raise ValueError(f"unknown latency_mode {latency_mode!r}")
         self.default_link = default_link
         self.loss_rate = loss_rate
         self.fault_injector = fault_injector
+        self.clock = clock
+        self.latency_mode = latency_mode
         self._endpoints: dict[str, Endpoint] = {}
         self._subscriptions: dict[str, set[str]] = defaultdict(set)
         self.stats = TrafficStats()
         self.messages_lost = 0
         self.losses_by_reason: Counter[str] = Counter()
         self._loss_rng = _random.Random(seed)
+
+    # -- clocked transport --------------------------------------------
+
+    def attach_clock(self, clock, latency_mode: str = "link") -> None:
+        """Bind a sim clock and select the delivery discipline.
+
+        With ``latency_mode="link"`` every subsequent ``send``/``publish``
+        schedules its delivery at ``clock.now + transfer latency``; with
+        ``"zero"`` the clock is held but delivery stays synchronous.
+        """
+        if latency_mode not in LATENCY_MODES:
+            raise ValueError(f"unknown latency_mode {latency_mode!r}")
+        self.clock = clock
+        self.latency_mode = latency_mode
+        if self.fault_injector is not None and self.fault_injector.clock is None:
+            self.fault_injector.clock = clock
+
+    @property
+    def deferred(self) -> bool:
+        """True when deliveries ride the event clock (latency faithful)."""
+        return self.latency_mode == "link" and self.clock is not None
 
     # -- registration -------------------------------------------------
 
@@ -136,6 +204,12 @@ class MessageBus:
             return self._endpoints[address]
         except KeyError:
             raise KeyError(f"no endpoint registered at {address!r}") from None
+
+    def set_handler(
+        self, address: str, handler: Callable[[Message], None] | None
+    ) -> None:
+        """Install (or clear) an arrival handler on an endpoint."""
+        self.endpoint(address).handler = handler
 
     @property
     def addresses(self) -> list[str]:
@@ -160,8 +234,10 @@ class MessageBus:
     def publish(self, topic: str, message: Message) -> int:
         """Deliver ``message`` to every subscriber of ``topic``.
 
-        Returns the number of deliveries; each one is metered separately
-        (a broadcast over unicast links costs per receiver).
+        Returns the number of deliveries (synchronous mode) or the
+        number of scheduled transmissions (deferred mode); each one is
+        metered separately (a broadcast over unicast links costs per
+        receiver).
         """
         deliveries = 0
         for address in sorted(self._subscriptions[topic]):
@@ -175,7 +251,10 @@ class MessageBus:
                 payload_values=message.payload_values,
                 timestamp=message.timestamp,
             )
-            if self._deliver(copy):
+            if self.deferred:
+                self._schedule_delivery(copy)
+                deliveries += 1
+            elif self._deliver(copy):
                 deliveries += 1
         return deliveries
 
@@ -184,7 +263,10 @@ class MessageBus:
     def send(self, message: Message, *, strict: bool = True) -> bool:
         """Deliver a unicast message to its destination endpoint.
 
-        Returns True when the message reached the destination's inbox.
+        Synchronous mode: returns True when the message reached the
+        destination's inbox.  Deferred mode: returns True when the
+        transmission was *scheduled* — the sender cannot know about an
+        in-flight loss; it learns (or doesn't) from the missing reply.
         With ``strict`` (the default) an unregistered destination raises
         ``KeyError``; with ``strict=False`` it is counted as a loss and
         the sender still pays for the transmission — the drop-and-count
@@ -202,9 +284,35 @@ class MessageBus:
             )
             self._record_loss(message, link, "unreachable")
             return False
+        if self.deferred:
+            self._schedule_delivery(message)
+            return True
         return self._deliver(message)
 
+    def _schedule_delivery(self, message: Message) -> None:
+        """Put a message on the wire: arrival after the link latency."""
+        delay = self._endpoints[message.destination].link.transfer_latency_s(
+            message
+        )
+        self.clock.schedule_in(delay, lambda now: self._deliver(message))
+
     def _deliver(self, message: Message) -> bool:
+        """Delivery-time processing: loss, faults, then the inbox.
+
+        On the synchronous path this runs inside ``send``; on the
+        deferred path it runs as the scheduled arrival event, so loss
+        draws and fault verdicts happen at *delivery* sim time.
+        """
+        if message.destination not in self._endpoints:
+            # Deferred mode only: the destination churned off the bus
+            # while the message was in flight.
+            link = (
+                self._endpoints[message.source].link
+                if message.source in self._endpoints
+                else self.default_link
+            )
+            self._record_loss(message, link, "unreachable")
+            return False
         destination = self._endpoints[message.destination]
         link = destination.link
         if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
@@ -212,21 +320,49 @@ class MessageBus:
             return False
         extra_latency = 0.0
         if self.fault_injector is not None:
-            verdict = self.fault_injector.evaluate(message)
+            now = float(self.clock.now) if self.deferred else None
+            verdict = self.fault_injector.evaluate(message, now=now)
             if not verdict.delivered:
                 self._record_loss(message, link, verdict.reason or "fault")
                 return False
             extra_latency = verdict.extra_latency_s
-        destination.inbox.append(message)
+        if self.deferred and extra_latency > 0.0:
+            # The degradation delay is real time on the wire: finish the
+            # delivery when it elapses (faults are not re-evaluated).
+            self.clock.schedule_in(
+                extra_latency,
+                lambda now: self._finish_delivery(message, extra_latency),
+            )
+            return True
+        self._finish_delivery(message, extra_latency)
+        return True
+
+    def _finish_delivery(self, message: Message, extra_latency: float) -> None:
+        """Hand the message to its endpoint and settle the accounting."""
+        if message.destination not in self._endpoints:
+            link = (
+                self._endpoints[message.source].link
+                if message.source in self._endpoints
+                else self.default_link
+            )
+            self._record_loss(message, link, "unreachable")
+            return
+        destination = self._endpoints[message.destination]
+        link = destination.link
+        if self.deferred:
+            message.arrived_at = float(self.clock.now)
         destination.stats.record(message, link)
-        destination.stats.latency_s += extra_latency
+        destination.stats.latency_sum_s += extra_latency
         if message.source in self._endpoints:
             sender = self._endpoints[message.source]
             sender.stats.record(message, link)
-            sender.stats.latency_s += extra_latency
+            sender.stats.latency_sum_s += extra_latency
         self.stats.record(message, link)
-        self.stats.latency_s += extra_latency
-        return True
+        self.stats.latency_sum_s += extra_latency
+        if destination.handler is not None:
+            destination.handler(message)
+        else:
+            destination.inbox.append(message)
 
     def _record_loss(
         self, message: Message, link: LinkModel, reason: str
@@ -265,8 +401,17 @@ class MessageBus:
         Both legs are metered.  A request lost in the channel suppresses
         the reply leg entirely (the responder never heard the question),
         and a lost reply returns ``None`` too — the caller sees exactly
-        what it would have received.
+        what it would have received.  Only valid on the synchronous
+        zero-latency path: with scheduled delivery there is no
+        "immediately", so callers must use plain sends and react to the
+        arrival events instead.
         """
+        if self.deferred:
+            raise RuntimeError(
+                "request_reply is a synchronous convenience; with "
+                'latency_mode="link" use send() and handle the reply '
+                "arrival event"
+            )
         if not self.send(request):
             return None
         reply = request.reply(reply_kind, reply_payload, reply_values)

@@ -56,6 +56,10 @@ class Message:
     payload_values: int = 1
     timestamp: float = 0.0
     message_id: int = field(default_factory=lambda: next(_sequence))
+    # Sim time the message reached its destination inbox.  Stamped by a
+    # clock-driven bus (latency_mode="link"); stays None on the
+    # synchronous zero-latency path where send time == arrival time.
+    arrived_at: float | None = None
 
     def __post_init__(self) -> None:
         if not self.source or not self.destination:

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["Event", "SimClock"]
+__all__ = ["Event", "PeriodicHandle", "SimClock"]
 
 EventCallback = Callable[[float], None]
 
@@ -27,6 +27,19 @@ class Event:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+
+
+@dataclass
+class PeriodicHandle:
+    """Cancellation handle for a periodic schedule.
+
+    ``current`` tracks the next armed firing so :meth:`SimClock.cancel`
+    can drop it from the queue; the ``cancelled`` flag stops the chain
+    from re-arming even if the pending event has already been popped.
+    """
+
+    cancelled: bool = False
+    current: Event | None = None
 
 
 class SimClock:
@@ -60,29 +73,37 @@ class SimClock:
         callback: EventCallback,
         start: float | None = None,
         until: float | None = None,
-    ) -> None:
+    ) -> PeriodicHandle:
         """Schedule a callback every ``period`` seconds.
 
         The callback fires first at ``start`` (default: one period from
         now) and re-arms itself after each firing while ``until`` (if
-        given) has not passed.
+        given) has not passed.  Returns a :class:`PeriodicHandle` that
+        :meth:`cancel` accepts to stop the chain.
         """
         if period <= 0:
             raise ValueError("period must be positive")
         first = self.now + period if start is None else start
+        handle = PeriodicHandle()
 
         def fire(now: float) -> None:
+            if handle.cancelled:
+                return
             callback(now)
             next_time = now + period
-            if until is None or next_time <= until:
-                self.schedule(next_time, fire)
+            if not handle.cancelled and (until is None or next_time <= until):
+                handle.current = self.schedule(next_time, fire)
 
         if until is None or first <= until:
-            self.schedule(first, fire)
+            handle.current = self.schedule(first, fire)
+        return handle
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a pending one-shot event."""
+    def cancel(self, event: Event | PeriodicHandle) -> None:
+        """Cancel a pending one-shot event or a periodic chain."""
         event.cancelled = True
+        current = getattr(event, "current", None)
+        if current is not None:
+            current.cancelled = True
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""

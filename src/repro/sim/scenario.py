@@ -8,7 +8,7 @@ examples and benches a one-call starting point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 
 import numpy as np
 
@@ -21,10 +21,12 @@ from ..fields.generators import (
 )
 from ..middleware.api import SenseDroid
 from ..middleware.config import BrokerConfig, CompressionPolicy, HierarchyConfig
+from ..middleware.rounds import ZoneSchedule
 from ..sensors.base import Environment
 
 __all__ = [
     "Scenario",
+    "ZoneSchedule",
     "earthquake_scenario",
     "fire_scenario",
     "smart_building_scenario",
@@ -34,16 +36,58 @@ __all__ = [
 
 @dataclass
 class Scenario:
-    """A ready-to-run environment + deployment pair."""
+    """A ready-to-run environment + deployment pair.
+
+    ``schedules`` and ``latency_mode`` carry the event-driven round
+    knobs (per-zone periods/offsets, transport discipline) so a bench
+    can hand the whole scenario to an async simulation engine.
+    """
 
     name: str
     env: Environment
     system: SenseDroid
     criticality: np.ndarray | None = None
+    schedules: dict[int, ZoneSchedule] | None = None
+    latency_mode: str = "zero"
 
     @property
     def truth(self) -> SpatialField:
         return self.env.fields[self.system.sensor_name]
+
+
+def _make_schedules(
+    zone_periods: dict[int, float] | None,
+    zone_offsets: dict[int, float] | None,
+) -> dict[int, ZoneSchedule] | None:
+    """Merge per-zone period/offset maps into ZoneSchedule records."""
+    if not zone_periods and not zone_offsets:
+        return None
+    zone_ids = set(zone_periods or {}) | set(zone_offsets or {})
+    return {
+        zone_id: ZoneSchedule(
+            period_s=(zone_periods or {}).get(zone_id, 30.0),
+            offset_s=(zone_offsets or {}).get(zone_id),
+        )
+        for zone_id in zone_ids
+    }
+
+
+def _apply_link_latency(system: SenseDroid, link_latency_s: float) -> None:
+    """Override the base latency of every link in the deployment.
+
+    The transport knob of a latency sweep: every endpoint's link (and
+    the bus default) keeps its bandwidth/energy figures but propagates
+    in ``link_latency_s`` — so the sweep isolates latency from energy.
+    """
+    bus = system.hierarchy.bus
+    bus.default_link = dc_replace(
+        bus.default_link, base_latency_s=link_latency_s
+    )
+    for address in bus.addresses:
+        endpoint = bus.endpoint(address)
+        endpoint.link = dc_replace(
+            endpoint.link, base_latency_s=link_latency_s
+        )
 
 
 def fire_scenario(
@@ -54,6 +98,10 @@ def fire_scenario(
     zones_y: int = 2,
     nodes_per_nc: int = 48,
     front_position: float = 0.4,
+    zone_periods: dict[int, float] | None = None,
+    zone_offsets: dict[int, float] | None = None,
+    latency_mode: str = "zero",
+    link_latency_s: float | None = None,
     rng: np.random.Generator | int | None = 7,
 ) -> Scenario:
     """Disaster response: a fire front crossing an area.
@@ -92,8 +140,15 @@ def fire_scenario(
         criticality=criticality,
         rng=gen.integers(2**31),
     )
+    if link_latency_s is not None:
+        _apply_link_latency(system, link_latency_s)
     return Scenario(
-        name="fire-response", env=env, system=system, criticality=criticality
+        name="fire-response",
+        env=env,
+        system=system,
+        criticality=criticality,
+        schedules=_make_schedules(zone_periods, zone_offsets),
+        latency_mode=latency_mode,
     )
 
 
@@ -104,6 +159,10 @@ def smart_building_scenario(
     zones_x: int = 3,
     zones_y: int = 3,
     nodes_per_nc: int = 40,
+    zone_periods: dict[int, float] | None = None,
+    zone_offsets: dict[int, float] | None = None,
+    latency_mode: str = "zero",
+    link_latency_s: float | None = None,
     rng: np.random.Generator | int | None = 11,
 ) -> Scenario:
     """Smart spaces: occupant comfort monitoring across a facility.
@@ -139,7 +198,15 @@ def smart_building_scenario(
         ),
         rng=gen.integers(2**31),
     )
-    return Scenario(name="smart-building", env=env, system=system)
+    if link_latency_s is not None:
+        _apply_link_latency(system, link_latency_s)
+    return Scenario(
+        name="smart-building",
+        env=env,
+        system=system,
+        schedules=_make_schedules(zone_periods, zone_offsets),
+        latency_mode=latency_mode,
+    )
 
 
 def earthquake_scenario(
@@ -150,6 +217,10 @@ def earthquake_scenario(
     zones_y: int = 4,
     nodes_per_nc: int = 48,
     n_buildings: int = 10,
+    zone_periods: dict[int, float] | None = None,
+    zone_offsets: dict[int, float] | None = None,
+    latency_mode: str = "zero",
+    link_latency_s: float | None = None,
     rng: np.random.Generator | int | None = 31,
 ) -> Scenario:
     """Earthquake response: the IsIndoor occupancy field as the sensed
@@ -201,16 +272,21 @@ def earthquake_scenario(
     # GPS+WiFi classifier is ~94% accurate), so the flag "sensor" is far
     # less noisy than a generic analog probe: model it as the flag value
     # plus small jitter rather than the default 0.3-sigma analog noise.
-    from dataclasses import replace as dc_replace
-
     for lc in system.hierarchy.localclouds.values():
         for nc in lc.nanoclouds:
             for node in nc.nodes.values():
                 sensor = node.sensors.get("is_indoor")
                 if sensor is not None:
                     sensor.spec = dc_replace(sensor.spec, noise_std=0.08)
+    if link_latency_s is not None:
+        _apply_link_latency(system, link_latency_s)
     return Scenario(
-        name="earthquake", env=env, system=system, criticality=criticality
+        name="earthquake",
+        env=env,
+        system=system,
+        criticality=criticality,
+        schedules=_make_schedules(zone_periods, zone_offsets),
+        latency_mode=latency_mode,
     )
 
 
@@ -221,6 +297,10 @@ def traffic_scenario(
     zones_x: int = 4,
     zones_y: int = 1,
     nodes_per_nc: int = 64,
+    zone_periods: dict[int, float] | None = None,
+    zone_offsets: dict[int, float] | None = None,
+    latency_mode: str = "zero",
+    link_latency_s: float | None = None,
     rng: np.random.Generator | int | None = 23,
 ) -> Scenario:
     """Transportation monitoring: congestion level along a corridor.
@@ -259,4 +339,12 @@ def traffic_scenario(
         ),
         rng=gen.integers(2**31),
     )
-    return Scenario(name="traffic", env=env, system=system)
+    if link_latency_s is not None:
+        _apply_link_latency(system, link_latency_s)
+    return Scenario(
+        name="traffic",
+        env=env,
+        system=system,
+        schedules=_make_schedules(zone_periods, zone_offsets),
+        latency_mode=latency_mode,
+    )

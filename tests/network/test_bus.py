@@ -158,3 +158,154 @@ class TestRequestReply:
         assert bus.endpoint("broker").pending() == 1
         assert bus.endpoint("node").pending() == 1
         assert bus.stats.messages == 2
+
+
+class TestTrafficStatsLatency:
+    def test_mean_latency_empty(self):
+        bus = MessageBus()
+        assert bus.stats.mean_latency_s == 0.0
+
+    def test_mean_latency_is_sum_over_messages(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        for _ in range(4):
+            bus.send(_msg("a", "b"))
+        stats = bus.stats
+        assert stats.mean_latency_s == pytest.approx(
+            stats.latency_sum_s / stats.messages
+        )
+        # The deprecated alias still reads the sum.
+        assert stats.latency_s == stats.latency_sum_s
+
+
+class TestDeferredDelivery:
+    """latency_mode="link": deliveries ride the sim clock."""
+
+    def _clocked_bus(self, **kwargs):
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        bus = MessageBus(**kwargs)
+        bus.attach_clock(clock, "link")
+        return bus, clock
+
+    def test_send_defers_until_link_latency_elapses(self):
+        bus, clock = self._clocked_bus()
+        bus.register("a", WIFI)
+        bus.register("b", WIFI)
+        message = _msg("a", "b")
+        assert bus.send(message) is True  # scheduled, not delivered
+        assert bus.endpoint("b").pending() == 0
+        latency = WIFI.transfer_latency_s(message)
+        clock.run_until(latency / 2)
+        assert bus.endpoint("b").pending() == 0
+        clock.run_until(latency)
+        assert bus.endpoint("b").pending() == 1
+        assert message.arrived_at == pytest.approx(latency)
+
+    def test_zero_mode_with_clock_stays_synchronous(self):
+        from repro.sim.clock import SimClock
+
+        bus = MessageBus()
+        bus.attach_clock(SimClock(), "zero")
+        bus.register("a")
+        bus.register("b")
+        bus.send(_msg("a", "b"))
+        assert bus.endpoint("b").pending() == 1
+
+    def test_arrivals_keep_clock_order_across_links(self):
+        # A slow-link message sent first arrives after a fast-link
+        # message sent second: latency faithfulness reorders arrivals.
+        from repro.network.links import GSM
+
+        bus, clock = self._clocked_bus()
+        bus.register("src", WIFI)
+        bus.register("slow", GSM)
+        bus.register("fast", BLUETOOTH)
+        first = _msg("src", "slow")
+        second = _msg("src", "fast")
+        bus.send(first)
+        bus.send(second)
+        clock.run_until(10.0)
+        assert second.arrived_at < first.arrived_at
+
+    def test_loss_applied_at_delivery_time(self):
+        bus, clock = self._clocked_bus(loss_rate=0.5, seed=3)
+        bus.register("a", WIFI)
+        bus.register("b", WIFI)
+        for _ in range(40):
+            assert bus.send(_msg("a", "b")) is True  # sender can't know
+        clock.run_until(10.0)
+        delivered = bus.endpoint("b").pending()
+        assert 0 < delivered < 40
+        assert bus.messages_lost == 40 - delivered
+        assert bus.losses_by_reason["iid-loss"] == 40 - delivered
+
+    def test_destination_churn_mid_flight_is_unreachable_loss(self):
+        bus, clock = self._clocked_bus()
+        bus.register("a", WIFI)
+        bus.register("b", WIFI)
+        bus.send(_msg("a", "b"))
+        bus.unregister("b")  # churns off while the message is in flight
+        clock.run_until(10.0)
+        assert bus.messages_lost == 1
+        assert bus.losses_by_reason["unreachable"] == 1
+        assert bus.endpoint("a").outbound_lost == 1
+
+    def test_fault_extra_latency_delays_arrival(self):
+        from repro.network.faults import DegradationWindow, FaultInjector
+
+        injector = FaultInjector(
+            DegradationWindow(start=0.0, end=50.0, extra_latency_s=2.0)
+        )
+        bus, clock = self._clocked_bus(fault_injector=injector)
+        bus.register("a", WIFI)
+        bus.register("b", WIFI)
+        message = _msg("a", "b")
+        bus.send(message)
+        base = WIFI.transfer_latency_s(message)
+        clock.run_until(base + 1.0)
+        assert bus.endpoint("b").pending() == 0  # still degraded-delayed
+        clock.run_until(base + 2.0)
+        assert bus.endpoint("b").pending() == 1
+        assert message.arrived_at == pytest.approx(base + 2.0)
+        assert bus.stats.latency_sum_s == pytest.approx(base + 2.0)
+
+    def test_handler_consumes_arrival_instead_of_inbox(self):
+        bus, clock = self._clocked_bus()
+        bus.register("a", WIFI)
+        bus.register("b", WIFI)
+        seen = []
+        bus.set_handler("b", seen.append)
+        message = _msg("a", "b")
+        bus.send(message)
+        clock.run_until(10.0)
+        assert seen == [message]
+        assert bus.endpoint("b").pending() == 0
+
+    def test_request_reply_refused_in_deferred_mode(self):
+        bus, _ = self._clocked_bus()
+        bus.register("a")
+        bus.register("b")
+        request = Message(
+            kind=MessageKind.SENSE_COMMAND,
+            source="a",
+            destination="b",
+            payload={},
+        )
+        with pytest.raises(RuntimeError, match="synchronous"):
+            bus.request_reply(request, MessageKind.SENSE_REPORT, {})
+
+    def test_publish_schedules_one_delivery_per_subscriber(self):
+        bus, clock = self._clocked_bus()
+        for name in ("pub", "s1", "s2"):
+            bus.register(name, WIFI)
+        bus.subscribe("s1", "t")
+        bus.subscribe("s2", "t")
+        assert bus.publish("t", _msg("pub", "t")) == 2
+        assert bus.endpoint("s1").pending() == 0
+        clock.run_until(10.0)
+        assert bus.endpoint("s1").pending() == 1
+        assert bus.endpoint("s2").pending() == 1
+        assert bus.stats.messages == 2

@@ -144,12 +144,12 @@ class TestDegradationWindow:
             DegradationWindow(start=0.0, end=10.0, extra_latency_s=2.0)
         )
         bus.send(_msg(t=1.0))
-        spiked = bus.stats.latency_s
+        spiked = bus.stats.latency_sum_s
         bus_clean = MessageBus()
         bus_clean.register("a")
         bus_clean.register("b")
         bus_clean.send(_msg(t=1.0))
-        assert spiked == pytest.approx(bus_clean.stats.latency_s + 2.0)
+        assert spiked == pytest.approx(bus_clean.stats.latency_sum_s + 2.0)
 
 
 class TestPartition:

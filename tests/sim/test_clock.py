@@ -70,6 +70,91 @@ class TestPeriodic:
             SimClock().schedule_periodic(0.0, lambda t: None)
 
 
+class TestCancellation:
+    def test_cancel_pending_periodic_before_first_fire(self):
+        clock = SimClock()
+        hits = []
+        handle = clock.schedule_periodic(2.0, hits.append)
+        clock.cancel(handle)
+        clock.run_until(10.0)
+        assert hits == []
+        assert clock.pending == 0
+
+    def test_cancel_periodic_mid_chain(self):
+        clock = SimClock()
+        hits = []
+        handle = clock.schedule_periodic(2.0, hits.append)
+        clock.schedule(5.0, lambda t: clock.cancel(handle))
+        clock.run_until(20.0)
+        assert hits == [2.0, 4.0]
+        assert clock.pending == 0
+
+    def test_cancel_from_inside_own_callback(self):
+        clock = SimClock()
+        hits = []
+        handle_box = []
+
+        def fire(now):
+            hits.append(now)
+            if len(hits) == 3:
+                clock.cancel(handle_box[0])
+
+        handle_box.append(clock.schedule_periodic(1.0, fire))
+        clock.run_until(10.0)
+        assert hits == [1.0, 2.0, 3.0]
+        assert clock.pending == 0
+
+    def test_cancelled_event_not_counted_as_run(self):
+        clock = SimClock()
+        event = clock.schedule(1.0, lambda t: None)
+        clock.schedule(2.0, lambda t: None)
+        clock.cancel(event)
+        clock.run_until(5.0)
+        assert clock.events_run == 1
+
+
+class TestPeriodicComposition:
+    def test_periodic_callback_scheduling_one_shots(self):
+        # A periodic round that schedules its own follow-up events (the
+        # driver pattern: round fires, timeouts/deadlines ride along).
+        clock = SimClock()
+        order = []
+
+        def round_fire(now):
+            order.append(("round", now))
+            clock.schedule_in(0.5, lambda t: order.append(("deadline", t)))
+
+        clock.schedule_periodic(2.0, round_fire, until=6.0)
+        clock.run_until(7.0)
+        assert order == [
+            ("round", 2.0), ("deadline", 2.5),
+            ("round", 4.0), ("deadline", 4.5),
+            ("round", 6.0), ("deadline", 6.5),
+        ]
+
+    def test_interleaved_schedules_tie_break_deterministically(self):
+        # Two identical runs with interleaved schedule/schedule_in calls
+        # landing on the same instants must replay identically.
+        def run():
+            clock = SimClock()
+            order = []
+            clock.schedule_periodic(1.0, lambda t: order.append(("p1", t)))
+            clock.schedule_periodic(1.0, lambda t: order.append(("p2", t)))
+            clock.schedule(3.0, lambda t: order.append(("one", t)))
+            clock.schedule(
+                2.0, lambda t: clock.schedule_in(1.0, lambda u: order.append(("nested", u)))
+            )
+            clock.run_until(4.0)
+            return order
+
+        first, second = run(), run()
+        assert first == second
+        # Same-instant ordering follows insertion order: p1 before p2,
+        # and the t=3 events in the order they entered the queue.
+        assert first.index(("p1", 3.0)) < first.index(("p2", 3.0))
+        assert first.index(("one", 3.0)) < first.index(("nested", 3.0))
+
+
 class TestRunUntil:
     def test_clock_lands_on_end_time(self):
         clock = SimClock()
