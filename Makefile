@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-perf bench-async report examples clean
+.PHONY: install test lint bench bench-perf bench-async bench-rob-byz report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,12 @@ bench-perf:
 bench-async:
 	REPRO_ASYNC_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_async_rounds.py --benchmark-disable -s
+
+# Smoke-mode Byzantine-sensor bench: small grid, short adversarial
+# sweep.  Unset REPRO_ROBBYZ_SMOKE for the full N=1024 ROB-BYZ series.
+bench-rob-byz:
+	REPRO_ROBBYZ_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_robustness_byzantine.py --benchmark-disable -s
 
 report: bench
 	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Byzantine sensors in one zone: naive GLS vs trimmed reconstruction.
+
+10% of the phones in a NanoCloud turn adversarial: they add a large
+offset to every reading *and* understate their noise std (0.01 claimed
+vs the honest 0.3).  Under naive GLS weighting the understated std buys
+the liars crushing weight and the zone estimate collapses; with
+``robust_mode="trim"`` the broker's LTS concentration screen rejects
+the poisoned rows, the estimate holds, and the repeat offenders lose
+trust until they are quarantined out of the candidate pool.
+
+Run:  python examples/byzantine_zone.py
+"""
+
+import numpy as np
+
+from repro.fields.generators import smooth_field
+from repro.middleware.config import BrokerConfig
+from repro.middleware.nanocloud import NanoCloud
+from repro.network.bus import MessageBus
+from repro.sensors.base import Environment
+from repro.sensors.faults import (
+    Adversarial,
+    SensorFaultInjector,
+    afflict_fraction,
+)
+
+W, H = 16, 8
+N = W * H
+M = N // 2
+ROUNDS = 4
+
+
+def _build_zone(mode: str, seed: int = 7):
+    truth = smooth_field(
+        W, H, cutoff=0.15, amplitude=4.0, offset=20.0, rng=0
+    )
+    env = Environment(fields={"temperature": truth})
+    bus = MessageBus()
+    nc = NanoCloud.build(
+        "nc", bus, W, H, n_nodes=N,
+        config=BrokerConfig(seed=seed, robust_mode=mode),
+        heterogeneous=False, rng=seed,
+    )
+    injector = SensorFaultInjector()
+    liars = afflict_fraction(
+        injector,
+        sorted(nc.nodes),
+        0.10,
+        lambda nid: Adversarial(offset=9.0, claimed_std=0.01),
+        seed=seed,
+    )
+    for node in nc.nodes.values():
+        node.fault_injector = injector
+    return truth, env, nc, liars
+
+
+def _rmse(truth, estimate):
+    return float(
+        np.sqrt(np.mean((truth.vector() - estimate.field.vector()) ** 2))
+    )
+
+
+def main() -> None:
+    print(f"zone: {W}x{H} = {N} cells, M={M} measurements per round")
+
+    truth, env, nc, liars = _build_zone("none")
+    print(f"{len(liars)} of {N} phones adversarial "
+          "(offset +9.0, claimed std 0.01 vs honest 0.3)\n")
+
+    print("naive GLS (robust_mode='none'):")
+    for round_no in range(ROUNDS):
+        estimate = nc.run_round(env, measurements=M)
+        print(f"  round {round_no}: rmse {_rmse(truth, estimate):6.3f}  "
+              f"rejected {estimate.rejected_reports}")
+
+    truth, env, nc, liars = _build_zone("trim")
+    print("\ntrimmed LTS (robust_mode='trim'):")
+    for round_no in range(ROUNDS):
+        estimate = nc.run_round(env, measurements=M)
+        quarantined = len(estimate.quarantined_nodes)
+        print(f"  round {round_no}: rmse {_rmse(truth, estimate):6.3f}  "
+              f"rejected {estimate.rejected_reports:2d}  "
+              f"quarantined {quarantined}")
+
+    snapshot = nc.broker.trust.snapshot()
+    liar_trust = float(np.mean(
+        [snapshot[n] for n in liars if n in snapshot]
+    ))
+    honest_trust = float(np.mean(
+        [t for n, t in snapshot.items() if n not in liars]
+    ))
+    print(f"\ntrust after {ROUNDS} rounds: "
+          f"liars {liar_trust:.2f}, honest {honest_trust:.2f}")
+    assert estimate.rejected_reports >= 0
+    print("\nthe trimmed zone recovered; the naive zone was poisoned.")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,7 @@ from .l1 import L1Result, l1_solve, l1_solve_noisy
 from .least_squares import condition_number, gls_solve, ols_solve, whiten
 from .omp import OMPResult, omp
 from .reconstruction import SOLVERS, Reconstruction, reconstruct
+from .robust import ROBUST_MODES, RobustFit, robust_reconstruct, robust_scales
 from .sampling import (
     MeasurementPlan,
     bernoulli_sensing_matrix,
@@ -126,6 +127,10 @@ __all__ = [
     "SOLVERS",
     "Reconstruction",
     "reconstruct",
+    "ROBUST_MODES",
+    "RobustFit",
+    "robust_reconstruct",
+    "robust_scales",
     "MeasurementPlan",
     "bernoulli_sensing_matrix",
     "gaussian_sensing_matrix",

@@ -28,6 +28,7 @@ from .participation import (
 )
 from .spacetime import SpaceTimeWindow, gather_spacetime_window
 from .storage import ContextRecord, DataStore
+from .trust import NodeTrust, TrustManager
 from .upload import (
     BatchedUpload,
     ImmediateUpload,
@@ -79,4 +80,6 @@ __all__ = [
     "UploadStats",
     "ContextRecord",
     "DataStore",
+    "NodeTrust",
+    "TrustManager",
 ]

@@ -26,6 +26,7 @@ from ..context.group import ContextReport, GroupAggregator
 from ..core.basis import basis_by_name, dct2_basis
 from ..core.operators import BasisOperator
 from ..core.reconstruction import Reconstruction, reconstruct
+from ..core.robust import RobustFit, robust_reconstruct
 from ..core.registry import (
     has_operator,
     shared_basis,
@@ -44,6 +45,7 @@ from ..network.message import Message, MessageKind
 from ..sensors.base import Environment, NodeState, Sensor
 from .config import BrokerConfig
 from .node import MobileNode
+from .trust import TrustManager
 
 __all__ = ["ZoneEstimate", "Broker"]
 
@@ -72,6 +74,13 @@ class ZoneEstimate:
     retries_used: int = 0
     planned_m: int = 0
     degraded: bool = False
+    # Data-fault telemetry (robust_mode != "none"): rows the robust
+    # solve rejected (or all-but-ignored), refit iterations spent, the
+    # nodes currently quarantined, and the broker's trust snapshot.
+    rejected_reports: int = 0
+    robust_rounds: int = 0
+    quarantined_nodes: tuple[str, ...] = ()
+    trust: dict[str, float] = field(default_factory=dict)
 
     @property
     def m(self) -> int:
@@ -79,8 +88,9 @@ class ZoneEstimate:
 
     @property
     def effective_m(self) -> int:
-        """Measurements actually realised (== rows of Phi used)."""
-        return self.plan.m
+        """Measurements the solve actually stood on: realised rows of
+        Phi minus any the robust solve rejected."""
+        return self.plan.m - self.rejected_reports
 
     @property
     def delivery_ratio(self) -> float:
@@ -96,11 +106,17 @@ class ZoneEstimate:
 
 @dataclass
 class _Collected:
-    """Measurements gathered during one round."""
+    """Measurements gathered during one round.
+
+    ``sources`` attributes each row to the member node(s) whose reports
+    produced it — empty for infrastructure reads — so the robust solve's
+    per-row verdicts can settle on the right trust ledgers.
+    """
 
     locations: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
     noise_stds: list[float] = field(default_factory=list)
+    sources: list[tuple[str, ...]] = field(default_factory=list)
 
 
 @dataclass
@@ -130,6 +146,10 @@ class _RoundPlan:
     candidates: np.ndarray
     plan: MeasurementPlan
     members_by_cell: dict[int, list[str]]
+    # Rehabilitation probes: cell -> quarantined node commanded first at
+    # that cell this round (empty unless robust_mode is active and the
+    # rehab cadence fired).
+    probes: dict[int, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -152,6 +172,11 @@ class _PendingRound:
     planned_m: int
     timestamp: float
     telemetry: _RoundTelemetry
+    # Per-row node attribution (parallel to ``locations``).
+    sources: list[tuple[str, ...]] = field(default_factory=list)
+    # Filled by solve_round when robust_mode != "none"; each pending
+    # round is owned by one solve, so writing it stays thread-safe.
+    robust: RobustFit | None = None
 
 
 class Broker:
@@ -206,6 +231,14 @@ class Broker:
         self.ledger = EnergyLedger(node_id=broker_id)
         self.groups = GroupAggregator()
         self.last_sparsity: int | None = None
+        # Trust ledger feeding the robust pipeline; constructed always
+        # (cheap) but only consulted when config.robust_mode != "none".
+        self.trust = TrustManager(
+            alpha=self.config.trust_alpha,
+            quarantine_below=self.config.quarantine_trust,
+            release_at=self.config.rehab_trust,
+            min_rejections=self.config.quarantine_min_rejections,
+        )
         # config.seed pins the broker exactly (sweeps); otherwise the
         # deployment-level rng keeps whole-system runs reproducible.
         self._rng = np.random.default_rng(
@@ -370,25 +403,34 @@ class Broker:
         cell: int,
         members_by_cell: dict[int, list[str]],
         nodes: dict[str, MobileNode],
+        probes: dict[int, str] | None = None,
     ) -> list[str]:
         """Order co-located candidates for commanding.
 
         With ``fair_rotation`` (default) the fullest battery goes first,
         spreading the sensing burden across a dense crowd — the
         collaborative energy sharing of [24].  Without batteries (or
-        with rotation disabled) the stored order is used.
+        with rotation disabled) the stored order is used.  A rehab probe
+        scheduled at this cell goes first regardless (quarantined nodes
+        are otherwise absent from ``members_by_cell``), with the healthy
+        candidates behind it as replacements should the probe fail.
         """
         candidates = members_by_cell.get(cell, [])
-        if not self.config.fair_rotation or len(candidates) < 2:
-            return candidates
+        if self.config.fair_rotation and len(candidates) >= 2:
 
-        def charge(node_id: str) -> float:
-            node = nodes.get(node_id)
-            if node is None or node.ledger.battery is None:
-                return 1.0
-            return node.ledger.battery.level
+            def charge(node_id: str) -> float:
+                node = nodes.get(node_id)
+                if node is None or node.ledger.battery is None:
+                    return 1.0
+                return node.ledger.battery.level
 
-        return sorted(candidates, key=lambda nid: (-charge(nid), nid))
+            candidates = sorted(
+                candidates, key=lambda nid: (-charge(nid), nid)
+            )
+        probe = (probes or {}).get(cell)
+        if probe is not None and probe not in candidates:
+            return [probe, *candidates]
+        return candidates
 
     def _command_node(
         self,
@@ -467,6 +509,7 @@ class Broker:
         timestamp: float,
         collected: _Collected,
         telemetry: _RoundTelemetry,
+        probes: dict[int, str] | None = None,
     ) -> bool:
         """Try to realise one planned measurement at ``cell``.
 
@@ -478,7 +521,10 @@ class Broker:
         noise_std: float | None = None
         cell_values: list[float] = []
         cell_stds: list[float] = []
-        for node_id in self._cell_order(cell, members_by_cell, nodes):
+        cell_sources: list[str] = []
+        for node_id in self._cell_order(
+            cell, members_by_cell, nodes, probes
+        ):
             node = nodes.get(node_id)
             if node is None:
                 continue
@@ -488,6 +534,7 @@ class Broker:
             if payload and payload.get("ok"):
                 cell_values.append(float(payload["value"]))
                 cell_stds.append(float(payload.get("noise_std", 0.0)))
+                cell_sources.append(node_id)
                 if self.config.suppress_redundant:
                     # Aquiba-style suppression [25]: one answer per
                     # cell is enough; spare the co-located phones.
@@ -509,11 +556,13 @@ class Broker:
                 cell, env, timestamp
             )
             telemetry.infra_reads += 1
+            cell_sources = []
         if value is None:
             return False
         collected.locations.append(cell)
         collected.values.append(value)
         collected.noise_stds.append(noise_std or 0.0)
+        collected.sources.append(tuple(cell_sources))
         return True
 
     # -- the aggregation round -------------------------------------------
@@ -548,12 +597,49 @@ class Broker:
             if measurements is not None
             else self.config.policy.measurements(self.n, k_est)
         )
-        candidates = np.array(sorted(self.coverage()), dtype=int)
-        if candidates.size == 0:
+        robust = self.config.robust_mode != "none"
+        quarantined = self.trust.quarantined if robust else set()
+        eligible = {
+            cell
+            for node_id, cell in self.members.items()
+            if node_id not in quarantined
+        } | set(self.infrastructure)
+        candidates = np.array(sorted(eligible), dtype=int)
+        # Rehabilitation probes: on the rehab cadence, command a few
+        # quarantined nodes at their own cells so a recovered sensor can
+        # demonstrate good rows and earn release.
+        probes: dict[int, str] = {}
+        if (
+            robust
+            and quarantined
+            and self.config.rehab_probes > 0
+            and (self._rounds_run + 1) % self.config.rehab_interval == 0
+        ):
+            for node_id in self.trust.probe_candidates(
+                self.config.rehab_probes
+            ):
+                cell = self.members.get(node_id)
+                if cell is None or cell in probes:
+                    continue
+                probes[cell] = node_id
+        if candidates.size == 0 and not probes:
             raise RuntimeError(f"broker {self.broker_id} has no coverage")
-        plan = self._make_plan(m, candidates)
+        if candidates.size:
+            plan = self._make_plan(m, candidates)
+            locations = plan.locations
+        else:
+            locations = np.array([], dtype=int)
+        if probes:
+            locations = np.unique(
+                np.concatenate(
+                    [locations, np.array(sorted(probes), dtype=int)]
+                )
+            )
+            plan = MeasurementPlan(n=self.n, locations=locations)
         members_by_cell: dict[int, list[str]] = {}
         for node_id, cell in self.members.items():
+            if node_id in quarantined:
+                continue
             members_by_cell.setdefault(cell, []).append(node_id)
         return _RoundPlan(
             k_est=k_est,
@@ -561,6 +647,7 @@ class Broker:
             candidates=candidates,
             plan=plan,
             members_by_cell=members_by_cell,
+            probes=probes,
         )
 
     def _infra_sweep(
@@ -579,6 +666,7 @@ class Broker:
             collected.locations.append(cell)
             collected.values.append(value)
             collected.noise_stds.append(noise_std or 0.0)
+            collected.sources.append(())
 
     def _freeze_round(
         self,
@@ -605,9 +693,30 @@ class Broker:
             )
         locations = np.asarray(collected.locations, dtype=int)
         values = np.asarray(collected.values, dtype=float)
+        sources = list(collected.sources)
+        if len(sources) < len(collected.locations):
+            # Callers that predate source attribution (or hand-built
+            # _Collected records) get anonymous rows.
+            sources = sources + [()] * (
+                len(collected.locations) - len(sources)
+            )
         covariance = None
         if self.config.use_gls and any(s > 0 for s in collected.noise_stds):
-            stds = np.maximum(np.asarray(collected.noise_stds), 1e-9)
+            # Floor the self-reported stds: a claimed-perfect (zero-std)
+            # row must not get unbounded GLS weight — and with robust
+            # mode on, discount each row by its least-trusted
+            # contributor so repeat offenders lose influence even
+            # before quarantine (effective variance = std^2 / trust).
+            stds = np.maximum(
+                np.asarray(collected.noise_stds, dtype=float),
+                self.config.gls_std_floor,
+            )
+            if self.config.robust_mode != "none":
+                row_trust = np.array(
+                    [self.trust.row_trust(row) for row in sources],
+                    dtype=float,
+                )
+                stds = stds / np.sqrt(row_trust)
             covariance = np.diag(stds**2)
 
         # A badly degraded round can realise fewer measurements than the
@@ -624,6 +733,7 @@ class Broker:
             planned_m=planned_m,
             timestamp=timestamp,
             telemetry=telemetry,
+            sources=sources,
         )
 
     def collect_round(
@@ -655,7 +765,7 @@ class Broker:
         for cell in round_plan.plan.locations.tolist():
             self._collect_cell(
                 cell, members_by_cell, nodes, bus, env, timestamp,
-                collected, telemetry,
+                collected, telemetry, round_plan.probes,
             )
 
         if (
@@ -691,32 +801,56 @@ class Broker:
     ) -> tuple[Reconstruction, np.ndarray]:
         """Phase 2: reconstruct the zone field from collected inputs.
 
-        Pure numerics — no bus, no RNG, no mutation of round state — so
-        distinct brokers' solves may run concurrently on worker threads.
-        Returns the solver result and the zone field vector ``x_hat``.
+        Pure numerics — no bus, no RNG, no broker-state mutation (the
+        robust outcome lands on the pending record itself, which is
+        owned by exactly one solve) — so distinct brokers' solves may
+        run concurrently on worker threads.  Returns the solver result
+        and the zone field vector ``x_hat``.
         """
         phi = self._basis()
-        if self.prior is not None and self.config.use_prior_basis:
-            centered = self.prior.center(pending.values, pending.locations)
+        use_prior = self.prior is not None and self.config.use_prior_basis
+
+        def fit(
+            values: np.ndarray,
+            locations: np.ndarray,
+            covariance: np.ndarray | None,
+        ) -> tuple[Reconstruction, np.ndarray]:
+            sparsity = min(pending.solver_sparsity, values.size)
+            if use_prior:
+                centered = self.prior.center(values, locations)
+                result = reconstruct(
+                    centered, locations, phi,
+                    solver=self.config.solver,
+                    sparsity=sparsity,
+                    covariance=covariance,
+                    engine=self.config.solver_engine,
+                )
+                return result, self.prior.uncenter(result.x_hat)
             result = reconstruct(
-                centered, pending.locations, phi,
+                values, locations, phi,
                 solver=self.config.solver,
-                sparsity=pending.solver_sparsity,
-                covariance=pending.covariance,
-                engine=self.config.solver_engine,
-            )
-            x_hat = self.prior.uncenter(result.x_hat)
-        else:
-            result = reconstruct(
-                pending.values, pending.locations, phi,
-                solver=self.config.solver,
-                sparsity=pending.solver_sparsity,
-                covariance=pending.covariance,
+                sparsity=sparsity,
+                covariance=covariance,
                 center=True,  # physical fields: baseline + sparse variation
                 engine=self.config.solver_engine,
             )
-            x_hat = result.x_hat
-        return result, x_hat
+            return result, result.x_hat
+
+        if self.config.robust_mode == "none":
+            return fit(
+                pending.values, pending.locations, pending.covariance
+            )
+        robust = robust_reconstruct(
+            fit,
+            pending.values,
+            pending.locations,
+            covariance=pending.covariance,
+            mode=self.config.robust_mode,
+            threshold=self.config.robust_threshold,
+            max_rounds=self.config.robust_max_rounds,
+        )
+        pending.robust = robust
+        return robust.result, robust.x_hat
 
     def finalize_round(
         self,
@@ -734,19 +868,49 @@ class Broker:
         planned_m = pending.planned_m
         refused = telemetry.refused
         infra_reads = telemetry.infra_reads
+        robust = pending.robust
+
+        # Trust bookkeeping: every attributed row's accept/reject verdict
+        # feeds its contributors' EWMA, then quarantine/release
+        # transitions apply.  Serial phase — the only trust mutation.
+        rejected_reports = 0
+        robust_active = self.config.robust_mode != "none"
+        if robust_active:
+            rejected = (
+                robust.row_rejected()
+                if robust is not None
+                else np.zeros(len(pending.sources), dtype=bool)
+            )
+            rejected_reports = int(rejected.sum())
+            for row_sources, row_rejected in zip(pending.sources, rejected):
+                for node_id in row_sources:
+                    self.trust.observe(node_id, bool(row_rejected))
+            self.trust.update_quarantine(
+                self._rounds_run + 1, member_count=len(self.members)
+            )
 
         # Adapt the sparsity estimate for the next round.  Shrink toward
         # the effective sparsity actually used; but if the fit left a
         # substantial residual at the measured cells, the field is richer
         # than K — grow the estimate instead (a K-capped solve can never
-        # reveal more than K coefficients by itself).
-        fitted = x_hat[locations]
-        norm_values = max(float(np.linalg.norm(values)), 1e-300)
-        residual_rel = float(np.linalg.norm(values - fitted)) / norm_values
+        # reveal more than K coefficients by itself).  Rows the robust
+        # solve rejected are outliers, not field richness — judge the
+        # residual on the surviving rows only.
+        keep = (
+            robust.kept
+            if robust is not None
+            else np.ones(locations.size, dtype=bool)
+        )
+        fitted = x_hat[locations[keep]]
+        kept_values = values[keep]
+        norm_values = max(float(np.linalg.norm(kept_values)), 1e-300)
+        residual_rel = (
+            float(np.linalg.norm(kept_values - fitted)) / norm_values
+        )
         noise_floor = 0.0
         if collected_noise_stds:
             noise_floor = float(
-                np.linalg.norm(collected_noise_stds)
+                np.linalg.norm(np.asarray(collected_noise_stds)[keep])
             ) / norm_values
         if residual_rel > max(2.0 * noise_floor, 0.02):
             self.last_sparsity = min(
@@ -776,6 +940,7 @@ class Broker:
             telemetry.commands_lost > 0
             or telemetry.reports_lost > 0
             or actual_plan.m < planned_m
+            or rejected_reports > 0
         )
         return ZoneEstimate(
             field=zone_field,
@@ -791,6 +956,14 @@ class Broker:
             retries_used=telemetry.retries_used,
             planned_m=planned_m,
             degraded=degraded,
+            rejected_reports=rejected_reports,
+            robust_rounds=robust.rounds if robust is not None else 0,
+            quarantined_nodes=(
+                tuple(sorted(self.trust.quarantined))
+                if robust_active
+                else ()
+            ),
+            trust=self.trust.snapshot() if robust_active else {},
         )
 
     def run_round(

@@ -76,6 +76,35 @@ class BrokerConfig:
     basis: str = "dct2"  # separable 2-D DCT over the zone grid
     policy: CompressionPolicy = field(default_factory=CompressionPolicy)
     use_gls: bool = True  # weight heterogeneous sensors per eq. (12)
+    # Lower clamp on self-reported noise stds when building the GLS
+    # covariance V.  The seed clamped at 1e-9, so a "perfect" (zero-std)
+    # infrastructure read got ~1e18 relative weight and numerically
+    # drowned every mobile report; 0.02 keeps the weight ratio against a
+    # 0.3-sigma phone bounded (~225x) while staying below every real
+    # sensor spec in the fleet, so existing behaviour is unchanged.
+    gls_std_floor: float = 0.02
+    # Byzantine/data-fault robustness (repro.core.robust): "none" keeps
+    # the seed's trusting solve; "trim" iteratively rejects rows whose
+    # standardised residual exceeds robust_threshold and refits to a
+    # fixed point (bit-identical to "none" when nothing is rejected);
+    # "huber" soft-downweights them via IRLS instead.  Either non-none
+    # mode also switches the GLS covariance to trust-discounted weights
+    # and arms the broker's quarantine machinery.
+    robust_mode: str = "none"
+    robust_threshold: float = 3.5
+    robust_max_rounds: int = 8
+    # Trust/quarantine knobs (repro.middleware.trust.TrustManager):
+    # EWMA step for accept/reject outcomes, the quarantine/release
+    # hysteresis pair, the repeat-offender floor, and the rehab probe
+    # cadence — every rehab_interval-th round re-commands up to
+    # rehab_probes quarantined nodes (one planned cell each) so a
+    # recovered sensor can earn its way back in.
+    trust_alpha: float = 0.3
+    quarantine_trust: float = 0.35
+    rehab_trust: float = 0.6
+    quarantine_min_rejections: int = 2
+    rehab_interval: int = 4
+    rehab_probes: int = 2
     use_prior_basis: bool = False  # swap in a PCA basis learned from history
     criticality_weighting: bool = True  # bias node selection to hot cells
     # Aquiba-style redundancy suppression ([25]): when several nodes
@@ -140,6 +169,28 @@ class BrokerConfig:
 
         if self.solver not in SOLVERS:
             raise ValueError(f"unknown solver {self.solver!r}")
+        from ..core.robust import ROBUST_MODES
+
+        if self.robust_mode not in ROBUST_MODES:
+            raise ValueError(f"unknown robust_mode {self.robust_mode!r}")
+        if self.gls_std_floor <= 0:
+            raise ValueError("gls_std_floor must be positive")
+        if self.robust_threshold <= 0:
+            raise ValueError("robust_threshold must be positive")
+        if self.robust_max_rounds < 1:
+            raise ValueError("robust_max_rounds must be >= 1")
+        if not 0.0 < self.trust_alpha <= 1.0:
+            raise ValueError("trust_alpha must be in (0, 1]")
+        if not 0.0 <= self.quarantine_trust < self.rehab_trust <= 1.0:
+            raise ValueError(
+                "need 0 <= quarantine_trust < rehab_trust <= 1"
+            )
+        if self.quarantine_min_rejections < 1:
+            raise ValueError("quarantine_min_rejections must be >= 1")
+        if self.rehab_interval < 1:
+            raise ValueError("rehab_interval must be >= 1")
+        if self.rehab_probes < 0:
+            raise ValueError("rehab_probes must be non-negative")
         if self.max_coverage_gap is not None and self.max_coverage_gap < 0:
             raise ValueError("max_coverage_gap must be non-negative")
         if self.command_retries < 0:

@@ -316,6 +316,11 @@ class NanoCloud:
         acting.last_sparsity = old.last_sparsity
         acting._history = list(old._history)
         acting._rounds_run = old._rounds_run
+        # Trust is zone knowledge, not broker property: the acting
+        # broker inherits the rejection history and quarantine roster
+        # (minus its own record — it no longer reports).
+        acting.trust = old.trust
+        acting.trust.forget(new_id)
         # Hand over the sampling stream so the promoted broker's plans
         # continue the deployment's reproducible draw sequence.
         acting._rng = old._rng

@@ -81,6 +81,11 @@ class MobileNode:
         self.audit = PrivacyAudit()
         self.shared_contexts: list[SharedContext] = []
         self._rng = np.random.default_rng(rng)
+        # Optional data-fault process (repro.sensors.faults): when set,
+        # every reading this node produces is run through its fault
+        # models *after* the honest noise machinery — the node itself
+        # does not know its sensor lies.
+        self.fault_injector = None
 
     # -- sensing -------------------------------------------------------
 
@@ -136,6 +141,20 @@ class MobileNode:
                 node_id=self.node_id,
                 noise_std=self.effective_noise_std(name),
             )
+        if self.fault_injector is not None:
+            now = self.fault_injector.now_or(timestamp)
+            value, noise_std = self.fault_injector.corrupt(
+                self.node_id, reading.value, reading.noise_std, now
+            )
+            if value != reading.value or noise_std != reading.noise_std:
+                reading = SensorReading(
+                    sensor=reading.sensor,
+                    timestamp=reading.timestamp,
+                    value=value,
+                    unit=reading.unit,
+                    node_id=self.node_id,
+                    noise_std=noise_std,
+                )
         return reading
 
     # -- broker protocol -------------------------------------------------

@@ -256,7 +256,7 @@ class ZoneRoundDriver:
                 col.cells[cell] = _CellAttempt(
                     cell=cell,
                     candidates=broker._cell_order(
-                        cell, plan.members_by_cell, nc.nodes
+                        cell, plan.members_by_cell, nc.nodes, plan.probes
                     ),
                 )
             self._collections.append(col)
@@ -343,7 +343,7 @@ class ZoneRoundDriver:
                 ca.cell, self.env, now
             )
             col.telemetry.infra_reads += 1
-            self._record_measurement(col, ca, value, noise_std)
+            self._record_measurement(col, ca, value, noise_std, ())
             return
         ca.exhausted = True
         self._maybe_complete()
@@ -354,11 +354,13 @@ class ZoneRoundDriver:
         ca: _CellAttempt,
         value: float,
         noise_std: float | None,
+        sources: tuple[str, ...],
     ) -> None:
         ca.satisfied = True
         col.collected.locations.append(ca.cell)
         col.collected.values.append(value)
         col.collected.noise_stds.append(noise_std or 0.0)
+        col.collected.sources.append(sources)
         self._maybe_complete()
 
     def _report_timeout(
@@ -406,6 +408,7 @@ class ZoneRoundDriver:
                 ca,
                 float(message.payload["value"]),
                 float(message.payload.get("noise_std", 0.0)),
+                (message.source,),
             )
         else:
             col.telemetry.refused += 1
@@ -461,6 +464,7 @@ class ZoneRoundDriver:
                     col.collected.locations.append(cell)
                     col.collected.values.append(value)
                     col.collected.noise_stds.append(noise_std or 0.0)
+                    col.collected.sources.append(())
             if not col.collected.locations and broker.infrastructure:
                 broker._infra_sweep(col.collected, col.telemetry, self.env, now)
             if any(not ca.satisfied for ca in col.cells.values()):

@@ -1,0 +1,220 @@
+"""Per-node trust scores, quarantine, and rehabilitation.
+
+The broker, not the node, owns data-quality judgment (sensor censoring
+for distributed sparse recovery, Wu et al.; data-aided sensing, Choi):
+a node's self-reported ``noise_std`` is a *claim*, and the robust solve
+(:mod:`repro.core.robust`) produces the evidence — which rows the fit
+had to reject.  This module turns that rejection history into state:
+
+- **Trust** — an EWMA over accept(1)/reject(0) outcomes per node,
+  starting at 1.0.  Trust discounts the node's GLS weight (its
+  effective variance is ``max(std, floor)^2 / trust``), so a node that
+  keeps producing rejected rows loses influence *before* it is ever
+  excluded.
+- **Quarantine** — a repeat offender (trust below a threshold after at
+  least ``min_rejections`` rejections) is removed from candidate
+  selection entirely; planned cells it covered fall to co-located
+  replacements or infrastructure.
+- **Rehabilitation** — every ``rehab_interval`` rounds the broker
+  probes a few quarantined nodes (one planned cell each).  A recovered
+  sensor's reports stop being rejected, its trust climbs back through
+  ``release_at``, and it rejoins the candidate pool.
+
+Everything here is deterministic — updates are pure arithmetic on
+observed rejections, and probe selection is worst-trust-first with the
+node id as tie-break — so same-seed faulty runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeTrust", "TrustManager"]
+
+
+@dataclass
+class NodeTrust:
+    """One node's standing with its broker."""
+
+    trust: float = 1.0
+    accepted: int = 0
+    rejected: int = 0
+    quarantined: bool = False
+    quarantined_at_round: int | None = None
+    probes: int = 0
+
+    @property
+    def observations(self) -> int:
+        return self.accepted + self.rejected
+
+
+class TrustManager:
+    """EWMA trust ledger with quarantine/rehabilitation transitions.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA step: ``trust <- (1 - alpha) * trust + alpha * outcome``
+        with outcome 1.0 for an accepted row, 0.0 for a rejected one.
+    quarantine_below / release_at:
+        Hysteresis pair: a node is quarantined when its trust falls
+        below the former (and it is a repeat offender), released once
+        probes push it back above the latter.
+    min_rejections:
+        Never quarantine on fewer total rejections than this — a single
+        unlucky 3.5-sigma row is not an offender.
+    max_quarantine_fraction:
+        Upper bound on the fraction of known members that may sit in
+        quarantine at once; beyond it the worst offenders keep their
+        slots and the rest stay (a broker that quarantines its whole
+        crowd has no measurements left to change its mind with).
+    floor:
+        Trust never decays below this (keeps the GLS discount finite
+        and leaves rehabilitation a ladder to climb back up).
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.3,
+        quarantine_below: float = 0.35,
+        release_at: float = 0.6,
+        min_rejections: int = 2,
+        max_quarantine_fraction: float = 0.5,
+        floor: float = 0.05,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= quarantine_below < release_at <= 1.0:
+            raise ValueError(
+                "need 0 <= quarantine_below < release_at <= 1"
+            )
+        if min_rejections < 1:
+            raise ValueError("min_rejections must be >= 1")
+        if not 0.0 < max_quarantine_fraction <= 1.0:
+            raise ValueError("max_quarantine_fraction must be in (0, 1]")
+        if not 0.0 < floor < 1.0:
+            raise ValueError("floor must be in (0, 1)")
+        self.alpha = alpha
+        self.quarantine_below = quarantine_below
+        self.release_at = release_at
+        self.min_rejections = min_rejections
+        self.max_quarantine_fraction = max_quarantine_fraction
+        self.floor = floor
+        self._nodes: dict[str, NodeTrust] = {}
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, node_id: str) -> NodeTrust:
+        record = self._nodes.get(node_id)
+        if record is None:
+            record = NodeTrust()
+            self._nodes[node_id] = record
+        return record
+
+    def trust_of(self, node_id: str) -> float:
+        record = self._nodes.get(node_id)
+        return record.trust if record is not None else 1.0
+
+    def row_trust(self, sources: tuple[str, ...]) -> float:
+        """Trust of one measurement row: the *least* trusted contributor
+        (infrastructure rows have no sources and full trust)."""
+        if not sources:
+            return 1.0
+        return min(self.trust_of(node_id) for node_id in sources)
+
+    def is_quarantined(self, node_id: str) -> bool:
+        record = self._nodes.get(node_id)
+        return record is not None and record.quarantined
+
+    @property
+    def quarantined(self) -> set[str]:
+        return {
+            node_id
+            for node_id, record in self._nodes.items()
+            if record.quarantined
+        }
+
+    def snapshot(self) -> dict[str, float]:
+        """Trust per tracked node (only nodes with history appear)."""
+        return {
+            node_id: record.trust
+            for node_id, record in sorted(self._nodes.items())
+        }
+
+    # -- updates --------------------------------------------------------
+
+    def observe(self, node_id: str, rejected: bool) -> float:
+        """Fold one row outcome into ``node_id``'s trust; returns it."""
+        record = self.get(node_id)
+        outcome = 0.0 if rejected else 1.0
+        record.trust = max(
+            (1.0 - self.alpha) * record.trust + self.alpha * outcome,
+            self.floor,
+        )
+        if rejected:
+            record.rejected += 1
+        else:
+            record.accepted += 1
+        return record.trust
+
+    def update_quarantine(
+        self, round_index: int, member_count: int | None = None
+    ) -> tuple[list[str], list[str]]:
+        """Apply quarantine/release transitions after a round's updates.
+
+        Returns ``(newly_quarantined, released)``, both sorted.  The
+        quarantine cap is enforced against ``member_count`` (default:
+        the number of tracked nodes).
+        """
+        released = []
+        for node_id, record in sorted(self._nodes.items()):
+            if record.quarantined and record.trust >= self.release_at:
+                record.quarantined = False
+                record.quarantined_at_round = None
+                released.append(node_id)
+        population = (
+            member_count if member_count is not None else len(self._nodes)
+        )
+        cap = max(int(self.max_quarantine_fraction * population), 1)
+        in_quarantine = len(self.quarantined)
+        offenders = sorted(
+            (
+                (record.trust, node_id)
+                for node_id, record in self._nodes.items()
+                if not record.quarantined
+                and record.trust < self.quarantine_below
+                and record.rejected >= self.min_rejections
+            ),
+        )
+        newly = []
+        for trust, node_id in offenders:
+            if in_quarantine >= cap:
+                break
+            record = self._nodes[node_id]
+            record.quarantined = True
+            record.quarantined_at_round = round_index
+            in_quarantine += 1
+            newly.append(node_id)
+        return sorted(newly), released
+
+    def probe_candidates(self, limit: int) -> list[str]:
+        """Quarantined nodes to probe this round: longest-quarantined
+        first (they have had the most time to recover), id tie-break."""
+        if limit <= 0:
+            return []
+        order = sorted(
+            (
+                (record.quarantined_at_round or 0, node_id)
+                for node_id, record in self._nodes.items()
+                if record.quarantined
+            ),
+        )
+        chosen = [node_id for _, node_id in order[:limit]]
+        for node_id in chosen:
+            self._nodes[node_id].probes += 1
+        return chosen
+
+    def forget(self, node_id: str) -> None:
+        """Drop a node's record (it left the NanoCloud)."""
+        self._nodes.pop(node_id, None)

@@ -26,6 +26,7 @@ The bus has two delivery disciplines:
 from __future__ import annotations
 
 import random as _random
+import warnings
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -37,6 +38,10 @@ from .message import Message, MessageKind
 __all__ = ["TrafficStats", "MessageBus", "Endpoint"]
 
 LATENCY_MODES = ("zero", "link")
+
+# The latency_s deprecation fires once per process, not once per stats
+# object — sweeps read stats thousands of times and one nudge is enough.
+_LATENCY_S_WARNED = False
 
 
 @dataclass
@@ -77,7 +82,18 @@ class TrafficStats:
     @property
     def latency_s(self) -> float:
         """Deprecated alias for :attr:`latency_sum_s` (it was always a
-        sum, never a per-message figure)."""
+        sum, never a per-message figure; use :attr:`mean_latency_s` for
+        the per-message mean)."""
+        global _LATENCY_S_WARNED
+        if not _LATENCY_S_WARNED:
+            _LATENCY_S_WARNED = True
+            warnings.warn(
+                "TrafficStats.latency_s is deprecated: it is the *sum* "
+                "of per-message latencies; read latency_sum_s (or "
+                "mean_latency_s for the per-message mean) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.latency_sum_s
 
 

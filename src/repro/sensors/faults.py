@@ -1,0 +1,309 @@
+"""Composable data-fault injection for the sensing substrate.
+
+:mod:`repro.network.faults` makes the *transport* lie — messages get
+dropped or delayed.  This module makes the *data* lie: a sensor keeps
+answering its commands, but the value (and the self-reported
+``noise_std`` the broker's GLS covariance trusts) is wrong.  Real
+fleets fail this way constantly — a thermistor sticks, a cheap ADC
+drifts with temperature, a loose connector sprays spikes, a handset
+ships with a bad factory calibration, and occasionally a participant is
+simply hostile.
+
+The API mirrors the network fault substrate so scenarios can inject
+both kinds with the same idioms: per-node *fault models* carry a
+``name`` for accounting, an activity window over simulated time, and a
+``reset()`` that rewinds any internal randomness so a faulty run can be
+replayed bit-for-bit.  Models implement::
+
+    apply(value, noise_std, now) -> (value', noise_std')
+    active(now) -> bool
+    reset() -> None
+
+A :class:`SensorFaultInjector` maps node ids to their fault processes
+and is consulted by :meth:`repro.middleware.node.MobileNode.read_sensor`
+after the honest noise model has run — faults compose *on top of* the
+existing tier/noise machinery, they do not replace it.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from collections import Counter
+from typing import Callable, Iterable, Protocol
+
+__all__ = [
+    "SensorFaultModel",
+    "StuckAt",
+    "Drift",
+    "SpikeBurst",
+    "CalibrationBias",
+    "Adversarial",
+    "SensorFaultInjector",
+    "afflict_fraction",
+]
+
+
+class SensorFaultModel(Protocol):
+    """Structural interface every sensor fault model satisfies."""
+
+    name: str
+
+    def apply(
+        self, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]: ...
+
+    def active(self, now: float) -> bool: ...
+
+    def reset(self) -> None: ...
+
+
+class _Windowed:
+    """Shared activity-window plumbing: a fault holds over [start, end)."""
+
+    def __init__(self, start: float = 0.0, end: float = math.inf) -> None:
+        if end <= start:
+            raise ValueError("fault window end must be after start")
+        self.start = start
+        self.end = end
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def reset(self) -> None:  # deterministic by default
+        return None
+
+
+class StuckAt(_Windowed):
+    """The classic stuck-at fault: the sensor reports one frozen value.
+
+    The reported ``noise_std`` is kept — a stuck sensor does not know it
+    is stuck, so it keeps claiming its usual confidence.
+    """
+
+    name = "stuck-at"
+
+    def __init__(
+        self, value: float, start: float = 0.0, end: float = math.inf
+    ) -> None:
+        super().__init__(start, end)
+        self.value = value
+
+    def apply(
+        self, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]:
+        return self.value, noise_std
+
+
+class Drift(_Windowed):
+    """Additive calibration drift: error grows linearly from fault onset.
+
+    Models a sensor walking away from truth (thermal drift, aging
+    reference voltage): at time ``t`` within the window the reading is
+    offset by ``rate_per_s * (t - start)``.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> None:
+        super().__init__(start, end)
+        self.rate_per_s = rate_per_s
+
+    def apply(
+        self, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]:
+        return value + self.rate_per_s * (now - self.start), noise_std
+
+
+class SpikeBurst(_Windowed):
+    """Intermittent large spikes: each read is corrupted with some
+    probability by a +/- ``magnitude`` excursion (loose connector, EMI).
+
+    Seeded — the spike pattern replays exactly after :meth:`reset`.
+    """
+
+    name = "spike-burst"
+
+    def __init__(
+        self,
+        magnitude: float,
+        probability: float = 0.3,
+        seed: int | None = None,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> None:
+        super().__init__(start, end)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("spike probability must be in [0, 1]")
+        self.magnitude = magnitude
+        self.probability = probability
+        self._seed = seed
+        self._rng = _random.Random(seed)
+
+    def apply(
+        self, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]:
+        if self._rng.random() < self.probability:
+            sign = 1.0 if self._rng.random() < 0.5 else -1.0
+            return value + sign * self.magnitude, noise_std
+        return value, noise_std
+
+    def reset(self) -> None:
+        self._rng = _random.Random(self._seed)
+
+
+class CalibrationBias(_Windowed):
+    """A constant additive offset — the bad factory calibration."""
+
+    name = "calibration-bias"
+
+    def __init__(
+        self, bias: float, start: float = 0.0, end: float = math.inf
+    ) -> None:
+        super().__init__(start, end)
+        self.bias = bias
+
+    def apply(
+        self, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]:
+        return value + self.bias, noise_std
+
+
+class Adversarial(_Windowed):
+    """A Byzantine participant: plausible-but-wrong values reported with
+    an *understated* ``noise_std``.
+
+    The offset keeps the value inside the field's plausible range (no
+    trivially filterable NaN/1e9 garbage), while the tiny claimed std
+    begs the GLS covariance for a huge weight — the attack the broker's
+    trust machinery exists to beat.
+    """
+
+    name = "adversarial"
+
+    def __init__(
+        self,
+        offset: float,
+        claimed_std: float = 0.01,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> None:
+        super().__init__(start, end)
+        if claimed_std < 0.0:
+            raise ValueError("claimed_std must be non-negative")
+        self.offset = offset
+        self.claimed_std = claimed_std
+
+    def apply(
+        self, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]:
+        return value + self.offset, self.claimed_std
+
+
+class SensorFaultInjector:
+    """Per-node composition of sensor fault processes.
+
+    Mirrors :class:`repro.network.faults.FaultInjector`: models are
+    evaluated in attach order, each active model transforms the
+    ``(value, noise_std)`` pair in sequence, corruptions are accounted
+    per fault name, and :meth:`reset` rewinds every model for an exact
+    replay.
+
+    Parameters
+    ----------
+    clock:
+        Optional time source with a ``now`` attribute (a
+        :class:`repro.sim.clock.SimClock`).  Without one, callers pass
+        the reading timestamp as the current time — adequate for both
+        the synchronous rounds and the event-driven driver, whose
+        command timestamps advance with simulated time.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock
+        self._models: dict[str, list[SensorFaultModel]] = {}
+        self.corruptions_by_reason: Counter[str] = Counter()
+
+    def attach(
+        self, node_id: str, *models: SensorFaultModel
+    ) -> "SensorFaultInjector":
+        """Afflict ``node_id`` with one or more fault processes; returns
+        self so attachments chain fluently."""
+        if not models:
+            raise ValueError("attach needs at least one fault model")
+        self._models.setdefault(node_id, []).extend(models)
+        return self
+
+    def models_for(self, node_id: str) -> list[SensorFaultModel]:
+        return list(self._models.get(node_id, ()))
+
+    @property
+    def faulty_nodes(self) -> set[str]:
+        return set(self._models)
+
+    def is_faulty(self, node_id: str, now: float | None = None) -> bool:
+        """Does ``node_id`` have a fault active at ``now`` (any, if
+        ``now`` is omitted)?"""
+        models = self._models.get(node_id, ())
+        if now is None:
+            return bool(models)
+        return any(model.active(now) for model in models)
+
+    def now_or(self, timestamp: float) -> float:
+        if self.clock is not None:
+            return float(self.clock.now)
+        return float(timestamp)
+
+    def corrupt(
+        self, node_id: str, value: float, noise_std: float, now: float
+    ) -> tuple[float, float]:
+        """Run ``node_id``'s active fault processes over one reading."""
+        for model in self._models.get(node_id, ()):
+            if not model.active(now):
+                continue
+            new_value, new_std = model.apply(value, noise_std, now)
+            if new_value != value or new_std != noise_std:
+                self.corruptions_by_reason[model.name] += 1
+            value, noise_std = new_value, new_std
+        return value, noise_std
+
+    def reset(self) -> None:
+        """Rewind every fault process and the corruption accounting."""
+        for models in self._models.values():
+            for model in models:
+                model.reset()
+        self.corruptions_by_reason.clear()
+
+
+def afflict_fraction(
+    injector: SensorFaultInjector,
+    node_ids: Iterable[str],
+    fraction: float,
+    factory: Callable[[str], SensorFaultModel | Iterable[SensorFaultModel]],
+    seed: int | None = None,
+) -> list[str]:
+    """Afflict a seeded-random fraction of a fleet with faults.
+
+    ``factory(node_id)`` builds the fault model(s) for each chosen node
+    (use the node id to seed per-node randomness deterministically).
+    Returns the afflicted node ids, sorted — the ground truth a
+    benchmark scores quarantine decisions against.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(node_ids)
+    count = int(round(fraction * len(ordered)))
+    rng = _random.Random(seed)
+    chosen = sorted(rng.sample(ordered, count)) if count else []
+    for node_id in chosen:
+        models = factory(node_id)
+        if isinstance(models, Iterable) and not hasattr(models, "apply"):
+            injector.attach(node_id, *models)
+        else:
+            injector.attach(node_id, models)  # type: ignore[arg-type]
+    return chosen

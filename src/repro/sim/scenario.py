@@ -23,10 +23,12 @@ from ..middleware.api import SenseDroid
 from ..middleware.config import BrokerConfig, CompressionPolicy, HierarchyConfig
 from ..middleware.rounds import ZoneSchedule
 from ..sensors.base import Environment
+from ..sensors.faults import SensorFaultInjector
 
 __all__ = [
     "Scenario",
     "ZoneSchedule",
+    "attach_sensor_faults",
     "earthquake_scenario",
     "fire_scenario",
     "smart_building_scenario",
@@ -49,10 +51,37 @@ class Scenario:
     criticality: np.ndarray | None = None
     schedules: dict[int, ZoneSchedule] | None = None
     latency_mode: str = "zero"
+    sensor_faults: SensorFaultInjector | None = None
 
     @property
     def truth(self) -> SpatialField:
         return self.env.fields[self.system.sensor_name]
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Every member node id across the deployment, sorted."""
+        return sorted(
+            node_id
+            for lc in self.system.hierarchy.localclouds.values()
+            for nc in lc.nanoclouds
+            for node_id in nc.nodes
+        )
+
+
+def attach_sensor_faults(
+    system: SenseDroid, injector: SensorFaultInjector
+) -> None:
+    """Point every node in a deployment at one sensor-fault injector.
+
+    The injector decides per node id whether (and how) readings lie, so
+    attaching it fleet-wide is free for unafflicted nodes; scenarios
+    call this when built with ``sensor_fault_injector=...`` and benches
+    can call it directly on an already-built system.
+    """
+    for lc in system.hierarchy.localclouds.values():
+        for nc in lc.nanoclouds:
+            for node in nc.nodes.values():
+                node.fault_injector = injector
 
 
 def _make_schedules(
@@ -102,6 +131,8 @@ def fire_scenario(
     zone_offsets: dict[int, float] | None = None,
     latency_mode: str = "zero",
     link_latency_s: float | None = None,
+    robust_mode: str = "none",
+    sensor_fault_injector: SensorFaultInjector | None = None,
     rng: np.random.Generator | int | None = 7,
 ) -> Scenario:
     """Disaster response: a fire front crossing an area.
@@ -136,12 +167,15 @@ def fire_scenario(
         broker_config=BrokerConfig(
             solver="chs",
             policy=CompressionPolicy(mode="sparsity"),
+            robust_mode=robust_mode,
         ),
         criticality=criticality,
         rng=gen.integers(2**31),
     )
     if link_latency_s is not None:
         _apply_link_latency(system, link_latency_s)
+    if sensor_fault_injector is not None:
+        attach_sensor_faults(system, sensor_fault_injector)
     return Scenario(
         name="fire-response",
         env=env,
@@ -149,6 +183,7 @@ def fire_scenario(
         criticality=criticality,
         schedules=_make_schedules(zone_periods, zone_offsets),
         latency_mode=latency_mode,
+        sensor_faults=sensor_fault_injector,
     )
 
 
@@ -163,6 +198,8 @@ def smart_building_scenario(
     zone_offsets: dict[int, float] | None = None,
     latency_mode: str = "zero",
     link_latency_s: float | None = None,
+    robust_mode: str = "none",
+    sensor_fault_injector: SensorFaultInjector | None = None,
     rng: np.random.Generator | int | None = 11,
 ) -> Scenario:
     """Smart spaces: occupant comfort monitoring across a facility.
@@ -195,17 +232,21 @@ def smart_building_scenario(
         broker_config=BrokerConfig(
             solver="chs",
             policy=CompressionPolicy(mode="sparsity"),
+            robust_mode=robust_mode,
         ),
         rng=gen.integers(2**31),
     )
     if link_latency_s is not None:
         _apply_link_latency(system, link_latency_s)
+    if sensor_fault_injector is not None:
+        attach_sensor_faults(system, sensor_fault_injector)
     return Scenario(
         name="smart-building",
         env=env,
         system=system,
         schedules=_make_schedules(zone_periods, zone_offsets),
         latency_mode=latency_mode,
+        sensor_faults=sensor_fault_injector,
     )
 
 
@@ -221,6 +262,8 @@ def earthquake_scenario(
     zone_offsets: dict[int, float] | None = None,
     latency_mode: str = "zero",
     link_latency_s: float | None = None,
+    robust_mode: str = "none",
+    sensor_fault_injector: SensorFaultInjector | None = None,
     rng: np.random.Generator | int | None = 31,
 ) -> Scenario:
     """Earthquake response: the IsIndoor occupancy field as the sensed
@@ -264,6 +307,7 @@ def earthquake_scenario(
             solver="omp",
             basis="haar",
             policy=CompressionPolicy(mode="fixed-ratio", ratio=0.45),
+            robust_mode=robust_mode,
         ),
         criticality=criticality,
         rng=gen.integers(2**31),
@@ -280,6 +324,8 @@ def earthquake_scenario(
                     sensor.spec = dc_replace(sensor.spec, noise_std=0.08)
     if link_latency_s is not None:
         _apply_link_latency(system, link_latency_s)
+    if sensor_fault_injector is not None:
+        attach_sensor_faults(system, sensor_fault_injector)
     return Scenario(
         name="earthquake",
         env=env,
@@ -287,6 +333,7 @@ def earthquake_scenario(
         criticality=criticality,
         schedules=_make_schedules(zone_periods, zone_offsets),
         latency_mode=latency_mode,
+        sensor_faults=sensor_fault_injector,
     )
 
 
@@ -301,6 +348,8 @@ def traffic_scenario(
     zone_offsets: dict[int, float] | None = None,
     latency_mode: str = "zero",
     link_latency_s: float | None = None,
+    robust_mode: str = "none",
+    sensor_fault_injector: SensorFaultInjector | None = None,
     rng: np.random.Generator | int | None = 23,
 ) -> Scenario:
     """Transportation monitoring: congestion level along a corridor.
@@ -336,15 +385,19 @@ def traffic_scenario(
         broker_config=BrokerConfig(
             solver="chs",
             policy=CompressionPolicy(mode="sparsity"),
+            robust_mode=robust_mode,
         ),
         rng=gen.integers(2**31),
     )
     if link_latency_s is not None:
         _apply_link_latency(system, link_latency_s)
+    if sensor_fault_injector is not None:
+        attach_sensor_faults(system, sensor_fault_injector)
     return Scenario(
         name="traffic",
         env=env,
         system=system,
         schedules=_make_schedules(zone_periods, zone_offsets),
         latency_mode=latency_mode,
+        sensor_faults=sensor_fault_injector,
     )

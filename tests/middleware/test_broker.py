@@ -354,3 +354,56 @@ class TestOnlinePriorLearning:
         for _ in range(8):
             broker.run_round(bus, nodes, env, measurements=24)
         assert len(broker._history) == 5
+
+
+class TestGlsStdFloor:
+    """A claimed-zero-std row (infrastructure, or a liar) must not get
+    unbounded GLS weight: every variance is floored at gls_std_floor^2."""
+
+    def _mixed_broker(self, seed=11):
+        bus = MessageBus()
+        broker = Broker("b", W, H, config=BrokerConfig(seed=seed))
+        bus.register("b")
+        # Mobile nodes (noisy, std 0.3) on the first half of the grid...
+        nodes = _deploy(bus, broker, n_nodes=N // 2, noise=True, seed=seed)
+        # ... and noiseless infrastructure on the rest.
+        spec = TemperatureSensor().spec
+        zero = type(spec)(
+            name=spec.name, unit=spec.unit, noise_std=0.0,
+            energy_per_sample_mj=spec.energy_per_sample_mj,
+            max_rate_hz=spec.max_rate_hz,
+        )
+        for cell in range(N // 2, N):
+            broker.add_infrastructure(
+                cell, TemperatureSensor(spec=zero, rng=cell)
+            )
+        return bus, broker, nodes
+
+    def test_zero_std_rows_floored_not_dominant(self, env):
+        bus, broker, nodes = self._mixed_broker()
+        pending = broker.collect_round(bus, nodes, env, measurements=N)
+        assert pending.covariance is not None
+        variances = np.diag(pending.covariance)
+        floor = broker.config.gls_std_floor
+        assert np.all(variances >= floor**2 - 1e-15)
+        infra = [
+            i for i, src in enumerate(pending.sources) if src == ()
+        ]
+        mobile = [
+            i for i, src in enumerate(pending.sources) if src != ()
+        ]
+        assert infra and mobile  # both populations sampled
+        # Infrastructure claims 0.0 -> lands exactly on the floor.
+        assert np.allclose(variances[infra], floor**2)
+        # The weight ratio between any two rows is bounded by the floor.
+        assert variances.max() / variances.min() <= (0.3 / floor) ** 2 + 1e-9
+        # The round still solves end to end with the mixed covariance.
+        result, x_hat = broker.solve_round(pending)
+        estimate = broker.finalize_round(pending, result, x_hat)
+        assert np.isfinite(estimate.field.vector()).all()
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ValueError, match="gls_std_floor"):
+            BrokerConfig(gls_std_floor=0.0)
+        with pytest.raises(ValueError, match="gls_std_floor"):
+            BrokerConfig(gls_std_floor=-0.1)

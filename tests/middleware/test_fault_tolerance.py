@@ -26,6 +26,11 @@ from repro.network.faults import (
 )
 from repro.network.message import Message, MessageKind
 from repro.sensors.base import Environment
+from repro.sensors.faults import (
+    Adversarial,
+    SensorFaultInjector,
+    afflict_fraction,
+)
 from repro.sensors.physical import TemperatureSensor
 
 
@@ -461,3 +466,62 @@ class TestNeverRaisesProperty:
         assert estimate.effective_m >= 1
         assert np.all(np.isfinite(estimate.field.vector()))
         assert 0.0 <= estimate.delivery_ratio <= 1.0
+
+
+class TestCombinedLossAndSensorFaults:
+    """Transport faults and data faults at once: the telemetry must keep
+    the two failure planes distinguishable on one estimate."""
+
+    def _byzantine_lossy_nc(self, *, loss=0.2, seed=7, fraction=0.1):
+        bus = MessageBus(loss_rate=loss, seed=seed)
+        nc = NanoCloud.build(
+            "nc", bus, 12, 8, n_nodes=96,
+            config=BrokerConfig(
+                seed=seed, robust_mode="trim", command_retries=1
+            ),
+            heterogeneous=False, rng=seed,
+        )
+        injector = SensorFaultInjector()
+        bad = afflict_fraction(
+            injector,
+            nc.nodes.keys(),
+            fraction,
+            lambda nid: Adversarial(offset=10.0, claimed_std=0.01),
+            seed=seed,
+        )
+        for node in nc.nodes.values():
+            node.fault_injector = injector
+        return nc, bad
+
+    def test_effective_m_reflects_both_failure_planes(self, env):
+        nc, bad = self._byzantine_lossy_nc()
+        estimate = nc.run_round(env, measurements=48)
+        # Transport plane: the lossy channel ate commands or reports.
+        assert estimate.commands_lost + estimate.reports_lost > 0
+        assert estimate.delivery_ratio < 1.0
+        # Data plane: adversarial rows got through the channel and were
+        # rejected by the robust solve instead.
+        assert estimate.rejected_reports > 0
+        assert estimate.effective_m == (
+            estimate.m - estimate.rejected_reports
+        )
+        assert estimate.effective_m < 48
+        assert estimate.degraded
+        assert np.isfinite(
+            metrics.relative_error(
+                env.fields["temperature"].vector(), estimate.field.vector()
+            )
+        )
+
+    def test_robust_solve_survives_losses_without_faulty_rows(self, env):
+        # Loss alone must not trip the data-fault telemetry.
+        bus = MessageBus(loss_rate=0.2, seed=9)
+        nc = NanoCloud.build(
+            "nc", bus, 12, 8, n_nodes=96,
+            config=BrokerConfig(seed=9, robust_mode="trim"),
+            heterogeneous=False, rng=9,
+        )
+        estimate = nc.run_round(env, measurements=48)
+        assert estimate.commands_lost + estimate.reports_lost > 0
+        assert estimate.rejected_reports == 0
+        assert estimate.quarantined_nodes == ()

@@ -14,6 +14,8 @@ from repro.middleware.localcloud import LocalCloud
 from repro.middleware.rounds import RoundState, ZoneRoundDriver, ZoneSchedule
 from repro.network.bus import MessageBus
 from repro.network.faults import CrashSchedule, FaultInjector
+from repro.network.message import MessageKind
+from repro.sensors.faults import Adversarial, SensorFaultInjector, StuckAt
 from repro.sensors.base import Environment
 from repro.sensors.physical import TemperatureSensor
 from repro.sim.clock import SimClock
@@ -243,3 +245,103 @@ class TestPartialRounds:
         clock.run_until(60.0)
         assert driver.rounds_completed >= 3
         assert driver.rounds_skipped == 0
+
+
+class TestByzantineLifecycle:
+    """Trust/quarantine interplay with the event-driven round machinery."""
+
+    def _byzantine_deployment(self, *, nodes_per_nc=6, fault_end=None, **cfg):
+        cfg.setdefault("policy", CompressionPolicy(mode="dense"))
+        cfg.setdefault("robust_mode", "trim")
+        cfg.setdefault("rehab_probes", 0)
+        clock, bus, lc = _deployment(
+            config=BrokerConfig(**cfg), nodes_per_nc=nodes_per_nc
+        )
+        nc = lc.nanoclouds[0]
+        bad_id = sorted(nc.nodes)[0]
+        injector = SensorFaultInjector()
+        if fault_end is None:
+            injector.attach(bad_id, Adversarial(offset=9.0, claimed_std=0.01))
+        else:
+            injector.attach(bad_id, StuckAt(60.0, end=fault_end))
+        for node in nc.nodes.values():
+            node.fault_injector = injector
+        return clock, bus, lc, nc, bad_id
+
+    def _spy_commands(self, clock, bus, sent):
+        original_send = bus.send
+
+        def spy(message, **kwargs):
+            if message.kind is MessageKind.SENSE_COMMAND:
+                sent.append((clock.now, message.destination))
+            return original_send(message, **kwargs)
+
+        bus.send = spy
+
+    def test_quarantined_node_stops_receiving_commands(self):
+        clock, bus, lc, nc, bad_id = self._byzantine_deployment()
+        sent = []
+        self._spy_commands(clock, bus, sent)
+        outcomes = []
+        driver = ZoneRoundDriver(
+            0, lc, _env(), clock, period_s=30.0, on_complete=outcomes.append
+        )
+        driver.start(until=300.0)
+        clock.run_until(320.0)
+        broker = nc.broker
+        assert broker.trust.is_quarantined(bad_id)
+        bad_commands = [t for t, dest in sent if dest == bad_id]
+        assert bad_commands  # commanded while still trusted...
+        last_bad = max(bad_commands)
+        later_others = [
+            t for t, dest in sent if dest != bad_id and t > last_bad + 30.0
+        ]
+        # ...then rounds kept running without ever commanding it again.
+        assert later_others
+        assert bad_id not in outcomes[-1].result.nc_estimates[0].trust or (
+            outcomes[-1].result.nc_estimates[0].trust[bad_id]
+            < broker.config.quarantine_trust
+        )
+        assert bad_id in outcomes[-1].result.nc_estimates[0].quarantined_nodes
+
+    def test_rounds_stay_within_deadline_after_quarantine(self):
+        # Enough members that the quarantined node's cell falls to a
+        # co-located replacement inside the same deadline machinery.
+        clock, bus, lc, nc, bad_id = self._byzantine_deployment(
+            nodes_per_nc=16
+        )
+        outcomes = []
+        driver = ZoneRoundDriver(
+            0, lc, _env(), clock, period_s=30.0, on_complete=outcomes.append
+        )
+        driver.start(until=300.0)
+        clock.run_until(320.0)
+        assert nc.broker.trust.is_quarantined(bad_id)
+        assert driver.rounds_failed == 0
+        assert len(outcomes) >= 8
+        for outcome in outcomes:
+            assert outcome.latency_s <= driver.report_deadline_s
+        # Post-quarantine rounds still produce full (non-partial) solves.
+        assert not outcomes[-1].partial
+
+    def test_rehab_probe_restores_recovered_node(self):
+        clock, bus, lc, nc, bad_id = self._byzantine_deployment(
+            fault_end=100.0, rehab_probes=1, rehab_interval=1
+        )
+        sent = []
+        self._spy_commands(clock, bus, sent)
+        driver = ZoneRoundDriver(
+            0, lc, _env(), clock, period_s=30.0, on_complete=lambda o: None
+        )
+        driver.start(until=600.0)
+        clock.run_until(620.0)
+        broker = nc.broker
+        record = broker.trust.get(bad_id)
+        # It was quarantined (stuck through t<100), probed after the
+        # sensor recovered, and released once trust climbed back.
+        assert record.probes >= 1
+        assert not record.quarantined
+        assert record.trust >= broker.config.rehab_trust
+        bad_commands = [t for t, dest in sent if dest == bad_id]
+        # Commanded again as a regular candidate after release.
+        assert max(bad_commands) > 400.0

@@ -1,8 +1,10 @@
 """Tests for the metered pub/sub message bus."""
 
+import warnings
+
 import pytest
 
-from repro.network.bus import MessageBus
+from repro.network.bus import MessageBus, TrafficStats
 from repro.network.links import BLUETOOTH, WIFI
 from repro.network.message import Message, MessageKind
 
@@ -309,3 +311,33 @@ class TestDeferredDelivery:
         assert bus.endpoint("s1").pending() == 1
         assert bus.endpoint("s2").pending() == 1
         assert bus.stats.messages == 2
+
+
+class TestLatencySDeprecation:
+    def _stats(self):
+        stats = TrafficStats()
+        stats.latency_sum_s = 1.25
+        return stats
+
+    def test_first_access_warns_once_per_process(self, monkeypatch):
+        import repro.network.bus as bus_mod
+
+        monkeypatch.setattr(bus_mod, "_LATENCY_S_WARNED", False)
+        stats = self._stats()
+        with pytest.warns(DeprecationWarning, match="latency_sum_s"):
+            value = stats.latency_s
+        assert value == stats.latency_sum_s
+        # Second access (even on a different object) stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert self._stats().latency_s == 1.25
+
+    def test_alias_value_tracks_sum(self, monkeypatch):
+        import repro.network.bus as bus_mod
+
+        monkeypatch.setattr(bus_mod, "_LATENCY_S_WARNED", True)
+        stats = self._stats()
+        stats.latency_sum_s += 0.75
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert stats.latency_s == pytest.approx(2.0)

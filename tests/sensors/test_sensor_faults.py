@@ -1,0 +1,250 @@
+"""Tests for the sensor data-fault substrate (repro.sensors.faults)."""
+
+import math
+
+import pytest
+
+from repro.fields.generators import urban_temperature_field
+from repro.middleware.node import MobileNode
+from repro.network.bus import MessageBus
+from repro.network.message import Message, MessageKind
+from repro.sensors.base import Environment, NodeState
+from repro.sensors.faults import (
+    Adversarial,
+    CalibrationBias,
+    Drift,
+    SensorFaultInjector,
+    SpikeBurst,
+    StuckAt,
+    afflict_fraction,
+)
+from repro.sensors.physical import TemperatureSensor
+
+
+class TestFaultModels:
+    def test_stuck_at_freezes_value_keeps_std(self):
+        fault = StuckAt(42.0)
+        assert fault.apply(20.0, 0.3, 5.0) == (42.0, 0.3)
+        assert fault.apply(-3.0, 0.1, 99.0) == (42.0, 0.1)
+
+    def test_drift_grows_from_window_start(self):
+        fault = Drift(rate_per_s=0.5, start=10.0)
+        value, std = fault.apply(20.0, 0.3, 14.0)
+        assert value == pytest.approx(20.0 + 0.5 * 4.0)
+        assert std == 0.3
+
+    def test_calibration_bias_constant_offset(self):
+        fault = CalibrationBias(bias=-1.5)
+        assert fault.apply(20.0, 0.3, 0.0) == (18.5, 0.3)
+        assert fault.apply(20.0, 0.3, 1e6) == (18.5, 0.3)
+
+    def test_adversarial_understates_std(self):
+        fault = Adversarial(offset=3.0, claimed_std=0.01)
+        value, std = fault.apply(20.0, 0.3, 0.0)
+        assert value == 23.0
+        assert std == 0.01
+
+    def test_spike_burst_seeded_replay(self):
+        fault = SpikeBurst(magnitude=10.0, probability=0.5, seed=7)
+        first = [fault.apply(0.0, 0.3, t) for t in range(50)]
+        fault.reset()
+        replay = [fault.apply(0.0, 0.3, t) for t in range(50)]
+        assert first == replay
+        spiked = [v for v, _ in first if v != 0.0]
+        assert spiked  # some spikes happened
+        assert all(abs(v) == 10.0 for v in spiked)
+        assert len(spiked) < 50  # ... but not on every read
+
+    def test_activity_window(self):
+        fault = StuckAt(1.0, start=5.0, end=10.0)
+        assert not fault.active(4.9)
+        assert fault.active(5.0)
+        assert fault.active(9.9)
+        assert not fault.active(10.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window end"):
+            StuckAt(1.0, start=5.0, end=5.0)
+
+    def test_bad_spike_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            SpikeBurst(magnitude=1.0, probability=1.5)
+
+    def test_negative_claimed_std_rejected(self):
+        with pytest.raises(ValueError, match="claimed_std"):
+            Adversarial(offset=1.0, claimed_std=-0.1)
+
+
+class TestInjector:
+    def test_corrupt_applies_only_active_models(self):
+        injector = SensorFaultInjector()
+        injector.attach("n1", CalibrationBias(2.0, start=10.0))
+        assert injector.corrupt("n1", 1.0, 0.3, 5.0) == (1.0, 0.3)
+        assert injector.corrupt("n1", 1.0, 0.3, 12.0) == (3.0, 0.3)
+
+    def test_models_compose_in_attach_order(self):
+        injector = SensorFaultInjector()
+        injector.attach("n1", CalibrationBias(2.0), Adversarial(0.0, 0.05))
+        value, std = injector.corrupt("n1", 1.0, 0.3, 0.0)
+        assert value == 3.0  # bias first, adversarial keeps the value
+        assert std == 0.05
+
+    def test_unafflicted_nodes_untouched(self):
+        injector = SensorFaultInjector()
+        injector.attach("bad", StuckAt(0.0))
+        assert injector.corrupt("good", 7.0, 0.2, 0.0) == (7.0, 0.2)
+        assert injector.faulty_nodes == {"bad"}
+
+    def test_is_faulty_respects_window(self):
+        injector = SensorFaultInjector()
+        injector.attach("n1", StuckAt(0.0, start=5.0, end=10.0))
+        assert injector.is_faulty("n1")  # no time: any model counts
+        assert not injector.is_faulty("n1", now=0.0)
+        assert injector.is_faulty("n1", now=7.0)
+        assert not injector.is_faulty("n2")
+
+    def test_accounting_counts_actual_corruptions(self):
+        injector = SensorFaultInjector()
+        injector.attach("n1", StuckAt(5.0))
+        injector.corrupt("n1", 1.0, 0.3, 0.0)
+        injector.corrupt("n1", 5.0, 0.3, 1.0)  # already 5.0: no change
+        assert injector.corruptions_by_reason["stuck-at"] == 1
+
+    def test_reset_rewinds_models_and_accounting(self):
+        injector = SensorFaultInjector()
+        injector.attach("n1", SpikeBurst(magnitude=4.0, probability=0.5, seed=3))
+        first = [injector.corrupt("n1", 0.0, 0.3, t) for t in range(30)]
+        injector.reset()
+        assert injector.corruptions_by_reason == {}
+        replay = [injector.corrupt("n1", 0.0, 0.3, t) for t in range(30)]
+        assert first == replay
+
+    def test_attach_requires_models(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SensorFaultInjector().attach("n1")
+
+    def test_clock_overrides_timestamp(self):
+        class _Clock:
+            now = 20.0
+
+        injector = SensorFaultInjector(clock=_Clock())
+        injector.attach("n1", CalibrationBias(1.0, start=15.0))
+        # Reading timestamp says 0.0 but the clock says 20.0 — active.
+        assert injector.now_or(0.0) == 20.0
+        assert injector.corrupt("n1", 1.0, 0.3, injector.now_or(0.0)) == (
+            2.0,
+            0.3,
+        )
+
+
+class TestAfflictFraction:
+    def test_seeded_choice_is_deterministic(self):
+        ids = [f"n{i:02d}" for i in range(20)]
+        chosen_a = afflict_fraction(
+            SensorFaultInjector(), ids, 0.25, lambda nid: StuckAt(0.0), seed=5
+        )
+        chosen_b = afflict_fraction(
+            SensorFaultInjector(), ids, 0.25, lambda nid: StuckAt(0.0), seed=5
+        )
+        assert chosen_a == chosen_b
+        assert len(chosen_a) == 5
+        assert chosen_a == sorted(chosen_a)
+
+    def test_factory_may_return_multiple_models(self):
+        injector = SensorFaultInjector()
+        afflict_fraction(
+            injector,
+            ["a", "b"],
+            1.0,
+            lambda nid: [CalibrationBias(1.0), Adversarial(0.0, 0.01)],
+            seed=0,
+        )
+        assert all(len(injector.models_for(n)) == 2 for n in ("a", "b"))
+
+    def test_zero_fraction_afflicts_nobody(self):
+        injector = SensorFaultInjector()
+        assert (
+            afflict_fraction(
+                injector, ["a", "b"], 0.0, lambda nid: StuckAt(0.0)
+            )
+            == []
+        )
+        assert injector.faulty_nodes == set()
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            afflict_fraction(
+                SensorFaultInjector(), ["a"], 1.5, lambda nid: StuckAt(0.0)
+            )
+
+
+@pytest.fixture
+def env():
+    return Environment(
+        fields={"temperature": urban_temperature_field(16, 8, rng=0)}
+    )
+
+
+def _node(node_id="n1", injector=None):
+    node = MobileNode(
+        node_id,
+        sensors={"temperature": TemperatureSensor(rng=1)},
+        state=NodeState(x=3, y=3),
+        rng=0,
+    )
+    node.fault_injector = injector
+    return node
+
+
+class TestNodeIntegration:
+    def test_faulty_node_reports_corrupted_reading(self, env):
+        injector = SensorFaultInjector()
+        injector.attach("n1", Adversarial(offset=5.0, claimed_std=0.01))
+        honest = _node().read_sensor("temperature", env, 0.0)
+        faulty = _node(injector=injector).read_sensor("temperature", env, 0.0)
+        assert faulty.value == pytest.approx(honest.value + 5.0)
+        assert faulty.noise_std == 0.01
+        assert honest.noise_std > 0.01
+
+    def test_unafflicted_node_identical_with_injector(self, env):
+        injector = SensorFaultInjector()
+        injector.attach("other", StuckAt(0.0))
+        honest = _node().read_sensor("temperature", env, 0.0)
+        attached = _node(injector=injector).read_sensor(
+            "temperature", env, 0.0
+        )
+        assert attached.value == honest.value
+        assert attached.noise_std == honest.noise_std
+
+    def test_corruption_flows_through_sense_report(self, env):
+        injector = SensorFaultInjector()
+        injector.attach("n1", StuckAt(99.0))
+        node = _node(injector=injector)
+        bus = MessageBus()
+        bus.register("broker")
+        bus.register("n1")
+        command = Message(
+            kind=MessageKind.SENSE_COMMAND,
+            source="broker",
+            destination="n1",
+            payload={"sensor": "temperature", "grid_index": 7},
+            timestamp=2.0,
+        )
+        reply = node.handle_command(command, env, bus)
+        assert reply.payload["ok"]
+        assert reply.payload["value"] == 99.0
+        assert injector.corruptions_by_reason["stuck-at"] == 1
+
+    def test_fault_window_over_sim_time(self, env):
+        injector = SensorFaultInjector()
+        injector.attach("n1", StuckAt(99.0, start=10.0, end=20.0))
+        node = _node(injector=injector)
+        before = node.read_sensor("temperature", env, 5.0)
+        during = node.read_sensor("temperature", env, 15.0)
+        after = node.read_sensor("temperature", env, 25.0)
+        assert before.value != 99.0
+        assert during.value == 99.0
+        assert after.value != 99.0
+
+    def test_drift_is_infinite_window_by_default(self):
+        assert Drift(0.1).end == math.inf

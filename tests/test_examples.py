@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "health_group.py",
     "spacetime_window.py",
+    "byzantine_zone.py",
 ]
 
 
@@ -45,6 +46,7 @@ def test_all_examples_exist():
         "traffic_sensing.py",
         "spacetime_window.py",
         "earthquake_response.py",
+        "byzantine_zone.py",
     }
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present
