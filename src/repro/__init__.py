@@ -20,10 +20,12 @@ Quick start::
 Subpackages: :mod:`repro.core` (CS math), :mod:`repro.fields`,
 :mod:`repro.sensors`, :mod:`repro.network`, :mod:`repro.middleware`,
 :mod:`repro.context`, :mod:`repro.mobility`, :mod:`repro.energy`,
-:mod:`repro.baselines`, :mod:`repro.sim`.
+:mod:`repro.baselines`, :mod:`repro.sim`, :mod:`repro.analysis`
+(invariant lint + runtime sanitizer, see ``docs/invariants.md``).
 """
 
 from . import (
+    analysis,
     baselines,
     context,
     core,
@@ -55,6 +57,7 @@ from .sensors import Environment, NodeState
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "baselines",
     "context",
     "core",

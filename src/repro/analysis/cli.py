@@ -1,0 +1,99 @@
+"""Command-line front end for reprolint (``python -m repro.analysis``).
+
+Text output is one finding per line (``path:line:col: RPRnnn[name]
+message``); ``--format json`` emits a machine-readable report for CI.
+The exit status is 0 when no unsuppressed findings remain, 1 otherwise,
+and 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .reprolint import RULES, lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: invariant-enforcing static analysis for the "
+            "SenseDroid reproduction (determinism, sim-time purity, "
+            "parallel-solve purity, shared-cache immutability)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids or names to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print pragma-suppressed findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, (name, summary) in RULES.items():
+            print(f"{rule} {name}: {summary}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings, scanned = lint_paths(args.paths, select=select)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_scanned": scanned,
+                    "findings": [f.as_dict() for f in findings],
+                    "unsuppressed": len(active),
+                    "suppressed": len(suppressed),
+                },
+                indent=2,
+            )
+        )
+    else:
+        shown = findings if args.show_suppressed else active
+        for finding in shown:
+            print(finding.render())
+        print(
+            f"reprolint: {scanned} file(s) scanned, "
+            f"{len(active)} finding(s), {len(suppressed)} suppressed"
+        )
+    return 1 if active else 0

@@ -59,6 +59,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..analysis import contracts
 from .incremental import IncrementalQR, top_k_indices
 from .least_squares import whiten
 from .operators import BasisOperator
@@ -218,16 +219,19 @@ def chs(
             interpolator=interpolator,
         )
 
-    op = phi if isinstance(phi, BasisOperator) else None
+    op: BasisOperator | None
+    dense: np.ndarray | None
     x_s = np.asarray(x_s, dtype=float).ravel()
     locations = np.asarray(locations, dtype=int).ravel()
-    if op is not None:
-        n = op.n
+    if isinstance(phi, BasisOperator):
+        op, dense = phi, None
+        n = phi.n
     else:
-        phi = np.asarray(phi, dtype=float)
-        if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
+        dense = np.asarray(phi, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
             raise ValueError("CHS needs the full square basis Phi")
-        n = phi.shape[0]
+        op = None
+        n = dense.shape[0]
     m = locations.size
     if x_s.size != m:
         raise ValueError(f"{x_s.size} measurements but {m} locations")
@@ -244,7 +248,14 @@ def chs(
     # underdetermined (K ~ M extrapolates wildly off the sample set).
     max_sparsity = min(max_sparsity, max(1, m - 1), n)
 
-    phi_rows = op.rows(locations) if op is not None else phi[locations, :]
+    if op is not None:
+        phi_rows = op.rows(locations)
+    else:
+        assert dense is not None
+        phi_rows = dense[locations, :]
+    if contracts.enabled():
+        contracts.check_finite("x_s", x_s, context="chs")
+        contracts.check_shape("phi_rows", phi_rows, (m, n), context="chs")
     # Selection is normalised by each atom's energy *at the sampled
     # rows*: an atom barely present at the M locations can correlate
     # spuriously with the residual yet cannot be estimated from those
@@ -279,7 +290,8 @@ def chs(
             if op is not None:
                 alpha_r = op.analyze(residual_full)
             else:
-                alpha_r = phi.T @ residual_full
+                assert dense is not None
+                alpha_r = dense.T @ residual_full
         # (c) pick the largest-magnitude new coefficients (normalised by
         # sampled-row atom energy; ties break toward the lower index —
         # the low-frequency prior for physical fields).
@@ -297,6 +309,14 @@ def chs(
         for j in picked:
             refit.add_column(rows_fit[:, j])
         alpha_sub = refit.solve(x_fit)
+        if contracts.enabled():
+            # A non-finite refit here means the incremental QR went
+            # numerically degenerate — catch it at the iteration that
+            # introduced it, not in the assembled field estimate.
+            contracts.check_vector(
+                "alpha_sub", alpha_sub, len(support), context="chs refit"
+            )
+            contracts.check_finite("alpha_sub", alpha_sub, context="chs refit")
         # (f) update the measurement-domain residual.
         residual = x_s - phi_rows[:, support] @ alpha_sub
         history.append(float(np.linalg.norm(residual)))
@@ -311,7 +331,8 @@ def chs(
     elif op is not None:
         reconstruction = op.synthesize(coefficients)
     else:
-        reconstruction = phi[:, support] @ alpha_sub
+        assert dense is not None
+        reconstruction = dense[:, support] @ alpha_sub
     return CHSResult(
         coefficients=coefficients,
         support=np.asarray(support, dtype=int),

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis import contracts
 from .incremental import top_k_indices
 from .least_squares import ols_solve
 
@@ -103,6 +104,8 @@ def cosamp(
         alpha[keep] = pruned[keep]
         # Final least-squares polish on the pruned support.
         alpha[keep] = ols_solve(a[:, keep], y)
+        if contracts.enabled():
+            contracts.check_finite("alpha", alpha, context="cosamp refit")
         residual = y - a @ alpha
         norm = float(np.linalg.norm(residual))
         history.append(norm)

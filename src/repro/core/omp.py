@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis import contracts
 from .incremental import IncrementalQR
 from .least_squares import whiten
 
@@ -139,6 +140,11 @@ def omp(
         in_support[best] = True
         refit.add_column(dict_fit[:, best])
         alpha_sub = refit.solve(x_fit)
+        if contracts.enabled():
+            contracts.check_vector(
+                "alpha_sub", alpha_sub, len(support), context="omp refit"
+            )
+            contracts.check_finite("alpha_sub", alpha_sub, context="omp refit")
         residual = x_s - phi_tilde[:, support] @ alpha_sub
         history.append(float(np.linalg.norm(residual)))
         if history[-1] <= target:

@@ -20,6 +20,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..analysis import contracts
 from . import metrics
 from .chs import chs
 from .l1 import l1_solve, l1_solve_noisy
@@ -65,7 +66,7 @@ class Reconstruction:
 
 def _dense_support(coefficients: np.ndarray) -> np.ndarray:
     peak = float(np.max(np.abs(coefficients))) if coefficients.size else 0.0
-    if peak == 0.0:
+    if peak == 0.0:  # reprolint: allow[float-eq] -- exact-zero sentinel
         return np.zeros(0, dtype=int)
     return np.flatnonzero(np.abs(coefficients) > 1e-8 * peak)
 
@@ -128,9 +129,12 @@ def reconstruct(
     """
     measurements = np.asarray(measurements, dtype=float).ravel()
     locations = np.asarray(locations, dtype=int).ravel()
-    op = phi if isinstance(phi, BasisOperator) else None
-    if op is not None:
-        n = op.n
+    op: BasisOperator | None
+    dense: np.ndarray | None
+    basis: np.ndarray | BasisOperator
+    if isinstance(phi, BasisOperator):
+        op, dense, basis = phi, None, phi
+        n = phi.n
     else:
         if np.iscomplexobj(phi):
             # The real-valued solver stack would silently drop imaginary
@@ -140,10 +144,11 @@ def reconstruct(
                 "complex basis not supported by reconstruct(); use a real "
                 "basis (dct/dct2/haar) or stack real and imaginary parts"
             )
-        phi = np.asarray(phi, dtype=float)
-        if phi.ndim != 2 or phi.shape[0] != phi.shape[1]:
+        dense = np.asarray(phi, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
             raise ValueError("phi must be the square synthesis basis")
-        n = phi.shape[0]
+        op, basis = None, dense
+        n = dense.shape[0]
     m = locations.size
     if measurements.size != m:
         raise ValueError(f"{measurements.size} measurements for {m} locations")
@@ -153,6 +158,20 @@ def reconstruct(
         sparsity = max(1, m // 2)
     if solver not in SOLVERS:
         raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVERS}")
+    if contracts.enabled():
+        # Sanitizer boundary: a NaN/Inf measurement (a faulty sensor, a
+        # broken upstream transform) must fail loudly here, not emerge
+        # as a silently poisoned field estimate.
+        contracts.check_finite(
+            "measurements", measurements, context="reconstruct"
+        )
+        if covariance is not None:
+            contracts.check_finite(
+                "covariance", covariance, context="reconstruct"
+            )
+            contracts.check_shape(
+                "covariance", covariance, (m, m), context="reconstruct"
+            )
 
     # Baseline + sparse variation: subtract the sample mean here, solve
     # once, and add the baseline back onto x_hat at the end — one code
@@ -161,18 +180,21 @@ def reconstruct(
     baseline = float(measurements.mean()) if center else 0.0
     values = measurements - baseline if center else measurements
 
-    phi_rows = op.rows(locations) if op is not None else subsample_rows(
-        phi, locations
-    )
+    if op is not None:
+        phi_rows = op.rows(locations)
+    else:
+        assert dense is not None
+        phi_rows = subsample_rows(dense, locations)
 
     def synthesize(coefficients: np.ndarray) -> np.ndarray:
-        return op.synthesize(coefficients) if op is not None else (
-            phi @ coefficients
-        )
+        if op is not None:
+            return op.synthesize(coefficients)
+        assert dense is not None
+        return dense @ coefficients
 
     if solver == "chs":
         result = chs(
-            phi,
+            basis,
             values,
             locations,
             max_sparsity=sparsity,
@@ -234,6 +256,13 @@ def reconstruct(
 
     if center:
         x_hat = x_hat + baseline
+    if contracts.enabled():
+        # Exit contract: the estimate must be a finite length-N field.
+        contracts.check_vector("x_hat", x_hat, n, context=f"{solver} solve")
+        contracts.check_vector(
+            "coefficients", coefficients, n, context=f"{solver} solve"
+        )
+        contracts.check_finite("x_hat", x_hat, context=f"{solver} solve")
     return Reconstruction(
         x_hat=x_hat,
         coefficients=coefficients,

@@ -7,10 +7,14 @@ construction per process, keyed on ``(name, n)`` for 1-D bases and
 ``(width, height)`` for the separable 2-D DCT, so the first broker pays
 the build and every later same-shaped broker gets the cached object.
 
-Dense matrices handed out by the registry are marked read-only: they are
-*shared*, and an in-place edit by one consumer would silently corrupt
-every other zone's solver.  Callers that genuinely need a private copy
-(none in this package do) must ``.copy()`` explicitly.
+Dense matrices handed out by the registry are mutation-guarded: the
+object returned is a read-only view whose writeable flag *cannot* be
+re-enabled (its base is read-only), because they are *shared* and an
+in-place edit by one consumer would silently corrupt every other zone's
+solver.  Callers that genuinely need a private copy (none in this
+package do) must ``.copy()`` explicitly.  Under ``REPRO_SANITIZE=1`` the
+guard additionally checksums every shared array so the parallel solve
+path can verify nothing drifted (see :mod:`repro.analysis.contracts`).
 
 Matrix-free operator forms (:mod:`repro.core.operators`) are memoised
 here too; they are cheap to build but sharing them keeps identity checks
@@ -26,6 +30,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..analysis import contracts
 from .basis import basis_by_name, dct2_basis
 from .operators import BasisOperator, DCT2Operator, DCTOperator
 
@@ -43,8 +48,7 @@ _OPERATOR_NAMES = ("dct",)
 
 
 def _freeze(matrix: np.ndarray) -> np.ndarray:
-    matrix.setflags(write=False)
-    return matrix
+    return contracts.guard_shared_array(matrix)
 
 
 @lru_cache(maxsize=128)
@@ -97,3 +101,4 @@ def clear_registry() -> None:
     shared_dct2_basis.cache_clear()
     shared_operator.cache_clear()
     shared_dct2_operator.cache_clear()
+    contracts.reset_guards()

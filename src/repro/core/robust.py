@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis import contracts
 from .reconstruction import Reconstruction
 
 __all__ = ["RobustFit", "ROBUST_MODES", "robust_reconstruct", "robust_scales"]
@@ -168,14 +169,26 @@ def _concentration_fit(
         np.sort(np.argsort(dist, kind="stable")[:h]),
         np.sort(np.argsort(z_full, kind="stable")[:h]),
     ]
-    best = None
+    # The equal-weight full fit itself competes as a candidate
+    # reference under the same trimmed-SSR objective.  On clean data it
+    # is the *best-informed* fit available, and a half-sample
+    # concentration iterate that underfit (the sparse solver can fail
+    # on h of m rows) must not displace it — that failure mode expels
+    # honest rows and makes the "robust" estimate far worse than the
+    # naive one it was meant to protect.  With real outliers the
+    # dragged full fit loses this contest decisively.
+    best = (
+        float(np.sum(np.sort(z_full**2, kind="stable")[:h])),
+        x_full,
+        starts[1],
+    )
     for i, keep0 in enumerate(starts):
         if i and np.array_equal(starts[0], starts[1]):
             break
         x_ref, keep_idx = c_steps(keep0)
         z = np.abs(values - x_ref[locations]) / scale
         trimmed_ssr = float(np.sum(np.sort(z**2, kind="stable")[:h]))
-        if best is None or trimmed_ssr < best[0] - 1e-12:
+        if trimmed_ssr < best[0] - 1e-12:
             best = (trimmed_ssr, x_ref, keep_idx)
     return best[1], best[2]
 
@@ -234,6 +247,15 @@ def robust_reconstruct(
     values = np.asarray(values, dtype=float)
     locations = np.asarray(locations, dtype=int)
     m = values.size
+    if contracts.enabled():
+        # Robustification rejects *statistical* outliers; a NaN/Inf row
+        # is a data-integrity fault and must fail loudly instead of
+        # silently poisoning every residual comparison below.
+        contracts.check_finite("values", values, context="robust_reconstruct")
+        if noise_stds is not None:
+            contracts.check_finite(
+                "noise_stds", noise_stds, context="robust_reconstruct"
+            )
     if noise_stds is None and covariance is not None:
         noise_stds = np.sqrt(np.diag(covariance))
     if min_keep is None:
@@ -243,13 +265,6 @@ def robust_reconstruct(
     result, x_hat = fit(values, locations, covariance)
     kept = np.ones(m, dtype=bool)
     weights = np.ones(m, dtype=float)
-
-    # Robust screening reference (see module docstring): residuals are
-    # judged against an equal-weight concentration fit, never against
-    # the naive fit a coordinated block of liars can drag or leverage.
-    x_ref, ref_idx = _concentration_fit(
-        fit, values, locations, noise_stds, min_keep, max_rounds
-    )
 
     def _classify(x_est):
         """Keep/reject every row against an estimate.
@@ -274,6 +289,13 @@ def robust_reconstruct(
             keep = np.zeros(m, dtype=bool)
             keep[order[:min_keep]] = True
         return keep, sc
+
+    # Robust screening reference (see module docstring): residuals are
+    # judged against an equal-weight concentration fit, never against
+    # the naive fit a coordinated block of liars can drag or leverage.
+    x_ref, ref_idx = _concentration_fit(
+        fit, values, locations, noise_stds, min_keep, max_rounds
+    )
 
     if mode == "trim":
         kept, scales = _classify(x_ref)

@@ -808,7 +808,10 @@ class Broker:
         and the zone field vector ``x_hat``.
         """
         phi = self._basis()
-        use_prior = self.prior is not None and self.config.use_prior_basis
+        # Bind the prior locally: mypy cannot carry an `is not None`
+        # narrowing on self.prior into the closure, and the solve phase
+        # must not re-read mutable broker state mid-flight anyway.
+        prior = self.prior if self.config.use_prior_basis else None
 
         def fit(
             values: np.ndarray,
@@ -816,8 +819,8 @@ class Broker:
             covariance: np.ndarray | None,
         ) -> tuple[Reconstruction, np.ndarray]:
             sparsity = min(pending.solver_sparsity, values.size)
-            if use_prior:
-                centered = self.prior.center(values, locations)
+            if prior is not None:
+                centered = prior.center(values, locations)
                 result = reconstruct(
                     centered, locations, phi,
                     solver=self.config.solver,
@@ -825,7 +828,7 @@ class Broker:
                     covariance=covariance,
                     engine=self.config.solver_engine,
                 )
-                return result, self.prior.uncenter(result.x_hat)
+                return result, prior.uncenter(result.x_hat)
             result = reconstruct(
                 values, locations, phi,
                 solver=self.config.solver,

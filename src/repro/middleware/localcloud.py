@@ -17,11 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import contracts
 from ..core.reconstruction import Reconstruction
 from ..fields.field import SpatialField
 from ..network.bus import MessageBus
 from ..network.links import LinkModel, WIFI
 from ..network.message import Message, MessageKind
+from ..network.topics import TOPIC_ZONE_ESTIMATES
 from ..sensors.base import Environment
 from .broker import Broker, ZoneEstimate, _PendingRound
 from .config import BrokerConfig
@@ -51,9 +53,14 @@ def solve_pending_rounds(
             len(pairs), os.cpu_count() or 1
         )
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
+            solved = list(
                 pool.map(lambda pair: pair[0].solve_round(pair[1]), pairs)
             )
+        if contracts.enabled():
+            # Sanitizer: a worker-thread solve must never have written a
+            # shared registry basis; re-checksum them after the fan-out.
+            contracts.verify_shared_arrays(context="parallel solve phase")
+        return solved
     return [broker.solve_round(pending) for broker, pending in pairs]
 
 
@@ -206,9 +213,29 @@ class LocalCloud:
         field = SpatialField(
             grid=zone_grid, name=f"zone@{self.lc_id}"
         )
-        return LocalCloudResult(
+        result = LocalCloudResult(
             field=field, nc_estimates=estimates, timestamp=timestamp
         )
+        # Observability downlink: anyone subscribed to the shared zone-
+        # estimates topic (dashboards, monitors, tests) hears a summary
+        # of every finished round.  No subscribers -> no traffic.
+        if self.bus.subscribers(TOPIC_ZONE_ESTIMATES):
+            self.bus.publish(
+                TOPIC_ZONE_ESTIMATES,
+                Message(
+                    kind=MessageKind.DISSEMINATE,
+                    source=self.head_address,
+                    destination=self.head_address,
+                    payload={
+                        "lc": self.lc_id,
+                        "measurements": result.total_measurements,
+                        "coefficients": result.coefficients_reported,
+                    },
+                    payload_values=3,
+                    timestamp=timestamp,
+                ),
+            )
+        return result
 
     def run_round(
         self,

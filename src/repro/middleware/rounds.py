@@ -29,15 +29,27 @@ property-tested bit-identical to the lockstep path.
 
 from __future__ import annotations
 
+# Wall-clock convention: simulation logic must read the SimClock; the
+# only sanctioned wall-clock reads are the perf-timing spans below that
+# measure *solver compute cost* (RoundRecord.round_wall_s and
+# ZoneRoundOutcome.wall_s).  Each carries a
+# `# reprolint: allow[wall-clock]` pragma — see docs/invariants.md.
+import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING, Callable
 
+from ..analysis import contracts
 from ..network.message import Message, MessageKind
 from ..sensors.base import Environment
 from .broker import Broker, _Collected, _RoundPlan, _RoundTelemetry
 from .localcloud import LocalCloud, LocalCloudResult, solve_pending_rounds
+from .nanocloud import NanoCloud
 from .node import MobileNode
+
+if TYPE_CHECKING:
+    from ..sim.clock import PeriodicHandle, SimClock
 
 __all__ = [
     "RoundState",
@@ -110,7 +122,7 @@ class _CellAttempt:
 class _NcCollection:
     """One NanoCloud's in-flight collection state for one round."""
 
-    nc: object
+    nc: NanoCloud
     broker: Broker
     plan: _RoundPlan | None
     collected: _Collected = field(default_factory=_Collected)
@@ -154,14 +166,14 @@ class ZoneRoundDriver:
         zone_id: int,
         localcloud: LocalCloud,
         env: Environment,
-        clock,
+        clock: "SimClock",
         *,
         period_s: float,
         offset_s: float | None = None,
         report_deadline_s: float | None = None,
         cloud_address: str | None = None,
         measurements_per_nc: list[int] | None = None,
-        on_complete=None,
+        on_complete: Callable[["ZoneRoundOutcome"], None] | None = None,
     ) -> None:
         if period_s <= 0:
             raise ValueError("period_s must be positive")
@@ -192,7 +204,11 @@ class ZoneRoundDriver:
         self._generation = 0
         self._started_at = 0.0
         self._collections: list[_NcCollection] = []
-        self._handle = None
+        self._handle: "PeriodicHandle | None" = None
+        # The driver's state machine belongs to the thread that built it
+        # (the event loop); only the inner solve may use workers.  The
+        # sanitizer asserts this on every state transition.
+        self._owner_ident = threading.get_ident()
 
     # -- scheduling ----------------------------------------------------
 
@@ -217,6 +233,10 @@ class ZoneRoundDriver:
     # -- round lifecycle -----------------------------------------------
 
     def _begin_round(self, now: float) -> None:
+        if contracts.enabled():
+            contracts.assert_thread(
+                self._owner_ident, "ZoneRoundDriver._begin_round"
+            )
         if self.state not in (RoundState.IDLE, RoundState.FINALIZED):
             # The previous round is still collecting/solving: skip this
             # firing rather than pile up overlapping rounds.
@@ -440,8 +460,12 @@ class ZoneRoundDriver:
     # -- solving / finalizing ------------------------------------------
 
     def _close_collection(self, now: float) -> None:
+        if contracts.enabled():
+            contracts.assert_thread(
+                self._owner_ident, "ZoneRoundDriver._close_collection"
+            )
         self.state = RoundState.SOLVING
-        started_wall = time.perf_counter()
+        started_wall = time.perf_counter()  # reprolint: allow[wall-clock]
         pairs = []
         partial = False
         for col in self._collections:
@@ -493,7 +517,7 @@ class ZoneRoundDriver:
         result = self.lc.finish_round(pairs, solved, self._started_at)
         if self.cloud_address is not None:
             self.lc.report_upward(self.cloud_address, result, now)
-        wall = time.perf_counter() - started_wall
+        wall = time.perf_counter() - started_wall  # reprolint: allow[wall-clock]
         self._finish(result, now, partial, wall)
 
     def _run_synchronous(self, now: float) -> None:
@@ -504,7 +528,7 @@ class ZoneRoundDriver:
         links there is nothing to wait for.
         """
         self.state = RoundState.SOLVING
-        started_wall = time.perf_counter()
+        started_wall = time.perf_counter()  # reprolint: allow[wall-clock]
         try:
             result = self.lc.run_round(
                 self.env, now, measurements_per_nc=self.measurements_per_nc
@@ -516,7 +540,7 @@ class ZoneRoundDriver:
         if self.cloud_address is not None:
             self.lc.report_upward(self.cloud_address, result, now)
             self.bus.endpoint(self.cloud_address).drain()
-        wall = time.perf_counter() - started_wall
+        wall = time.perf_counter() - started_wall  # reprolint: allow[wall-clock]
         self._finish(result, now, False, wall)
 
     def _finish(
@@ -526,6 +550,10 @@ class ZoneRoundDriver:
         partial: bool,
         wall_s: float,
     ) -> None:
+        if contracts.enabled():
+            contracts.assert_thread(
+                self._owner_ident, "ZoneRoundDriver._finish"
+            )
         self.state = RoundState.FINALIZED
         self.rounds_completed += 1
         outcome = ZoneRoundOutcome(

@@ -15,6 +15,13 @@ from .faults import (
 from .links import BLUETOOTH, GSM, LINKS_BY_NAME, LTE, WIFI, LinkModel
 from .message import Message, MessageKind
 from .selector import NetworkSelector, SelectionPolicy, SelectionResult
+from .topics import (
+    ALL_TOPICS,
+    TOPIC_ALERTS,
+    TOPIC_CONTEXT_DIGEST,
+    TOPIC_ROUND_COMPLETED,
+    TOPIC_ZONE_ESTIMATES,
+)
 from .topology import (
     broker_load,
     hierarchy_topology,
@@ -48,6 +55,11 @@ __all__ = [
     "SelectionResult",
     "Message",
     "MessageKind",
+    "ALL_TOPICS",
+    "TOPIC_ALERTS",
+    "TOPIC_CONTEXT_DIGEST",
+    "TOPIC_ROUND_COMPLETED",
+    "TOPIC_ZONE_ESTIMATES",
     "broker_load",
     "hierarchy_topology",
     "is_connected",

@@ -1,0 +1,41 @@
+"""Canonical pub/sub topic names for the metered message bus.
+
+Publishers and subscribers must meet on *exactly* the same topic string
+or traffic silently vanishes — a typo'd topic is a subscriber that never
+hears anything.  Every topic used at a ``publish``/``subscribe`` call
+site therefore lives here as a shared constant; reprolint rule RPR004
+(`raw-topic`) rejects raw string literals at those call sites.
+
+Adding a topic: define the constant, append it to :data:`ALL_TOPICS`,
+and reference the constant from both ends of the exchange.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TOPIC_ZONE_ESTIMATES",
+    "TOPIC_ROUND_COMPLETED",
+    "TOPIC_ALERTS",
+    "TOPIC_CONTEXT_DIGEST",
+    "ALL_TOPICS",
+]
+
+#: LocalCloud heads publish each finished zone round here (support size
+#: and measurement count); dashboards/monitors subscribe.
+TOPIC_ZONE_ESTIMATES = "sensedroid/zones/estimates"
+
+#: Event-driven round drivers' completion notifications.
+TOPIC_ROUND_COMPLETED = "sensedroid/rounds/completed"
+
+#: Threshold/anomaly alerts raised against reconstructed fields.
+TOPIC_ALERTS = "sensedroid/alerts"
+
+#: Aggregated group-context digests (Section 3 context sharing).
+TOPIC_CONTEXT_DIGEST = "sensedroid/context/digest"
+
+ALL_TOPICS: tuple[str, ...] = (
+    TOPIC_ZONE_ESTIMATES,
+    TOPIC_ROUND_COMPLETED,
+    TOPIC_ALERTS,
+    TOPIC_CONTEXT_DIGEST,
+)

@@ -172,9 +172,12 @@ class SimulationEngine:
         )
 
     def _tick_sensing(self, now: float) -> None:
-        started = time.perf_counter()
+        # Perf-timing site (RoundRecord.round_wall_s): wall-clock reads
+        # are banned in sim logic (RPR002) — simulated time is free,
+        # solver compute is not, and this span measures the latter.
+        started = time.perf_counter()  # reprolint: allow[wall-clock]
         estimate = self.system.sense_field()
-        wall_s = time.perf_counter() - started
+        wall_s = time.perf_counter() - started  # reprolint: allow[wall-clock]
         error = self.system.estimate_error(estimate)
         stats = self.system.hierarchy.bus.stats
         self.result.rounds.append(

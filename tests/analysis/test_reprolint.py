@@ -1,0 +1,552 @@
+"""Per-rule fixture tests for reprolint (repro.analysis.reprolint).
+
+Every rule gets at least one firing case and one pragma-suppressed
+case, exercised through ``lint_source`` so the fixtures stay inline.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.reprolint import (
+    PARSE_ERROR_RULE,
+    RULES,
+    Finding,
+    lint_paths,
+    lint_source,
+)
+
+
+def _lint(source: str, path: str = "module.py", **kwargs) -> list[Finding]:
+    return lint_source(textwrap.dedent(source), path, **kwargs)
+
+
+def _rules(findings, *, suppressed=None):
+    return [
+        f.rule
+        for f in findings
+        if suppressed is None or f.suppressed is suppressed
+    ]
+
+
+class TestRPR001GlobalRng:
+    def test_np_random_module_call_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(4)
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR001"]
+
+    def test_stdlib_random_module_call_fires(self):
+        findings = _lint(
+            """
+            import random
+
+            def f():
+                random.shuffle([1, 2])
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR001"]
+
+    def test_seeded_constructors_allowed(self):
+        findings = _lint(
+            """
+            import random
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed), random.Random(seed)
+            """
+        )
+        assert findings == []
+
+    def test_import_alias_is_resolved(self):
+        findings = _lint(
+            """
+            import numpy.random as npr
+
+            def f():
+                return npr.normal()
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR001"]
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(4)  # reprolint: allow[global-rng]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR001"]
+        assert _rules(findings, suppressed=False) == []
+
+    def test_unrelated_attribute_not_flagged(self):
+        findings = _lint(
+            """
+            def f(thing):
+                return thing.random.rand()
+            """
+        )
+        assert findings == []
+
+
+class TestRPR002WallClock:
+    def test_time_time_fires(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                return time.time()
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR002"]
+
+    def test_from_import_perf_counter_fires(self):
+        findings = _lint(
+            """
+            from time import perf_counter
+
+            def f():
+                return perf_counter()
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR002"]
+
+    def test_datetime_now_fires(self):
+        findings = _lint(
+            """
+            from datetime import datetime
+
+            def f():
+                return datetime.now()
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR002"]
+
+    def test_pragma_by_rule_id_suppresses(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                return time.perf_counter()  # reprolint: allow[RPR002]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR002"]
+
+    def test_time_sleep_not_flagged(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                time.sleep(0.1)
+            """
+        )
+        assert findings == []
+
+
+class TestRPR003SolvePurity:
+    SOURCE = """
+        class Broker:
+            def solve_round(self, pending):
+                self.cache = pending
+                return pending
+        """
+
+    def test_self_write_in_solve_round_fires_in_phase_files(self):
+        for basename in ("broker.py", "rounds.py", "localcloud.py"):
+            findings = _lint(self.SOURCE, path=f"src/{basename}")
+            assert _rules(findings, suppressed=False) == ["RPR003"], basename
+
+    def test_other_files_are_out_of_scope(self):
+        assert _lint(self.SOURCE, path="src/other.py") == []
+
+    def test_other_functions_are_out_of_scope(self):
+        findings = _lint(
+            """
+            class Broker:
+                def finalize_round(self, pending):
+                    self.cache = pending
+            """,
+            path="broker.py",
+        )
+        assert findings == []
+
+    def test_global_declaration_fires(self):
+        findings = _lint(
+            """
+            COUNT = 0
+
+            def solve_round(pending):
+                global COUNT
+                COUNT += 1
+            """,
+            path="rounds.py",
+        )
+        assert "RPR003" in _rules(findings, suppressed=False)
+
+    def test_nested_helper_is_still_in_scope(self):
+        findings = _lint(
+            """
+            class Broker:
+                def solve_round(self, pending):
+                    def inner():
+                        self.cache = pending
+                    inner()
+            """,
+            path="broker.py",
+        )
+        assert _rules(findings, suppressed=False) == ["RPR003"]
+
+    def test_local_and_parameter_writes_allowed(self):
+        findings = _lint(
+            """
+            class Broker:
+                def solve_round(self, pending):
+                    scratch = pending.copy()
+                    pending.robust = True
+                    return scratch
+            """,
+            path="broker.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            class Broker:
+                def solve_round(self, pending):
+                    self.cache = pending  # reprolint: allow[solve-purity]
+            """,
+            path="broker.py",
+        )
+        assert _rules(findings, suppressed=True) == ["RPR003"]
+
+
+class TestRPR004RawTopic:
+    def test_publish_with_raw_topic_fires(self):
+        findings = _lint(
+            """
+            def f(bus, msg):
+                bus.publish("zones/estimates", msg)
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR004"]
+
+    def test_subscribe_second_arg_fires(self):
+        findings = _lint(
+            """
+            def f(bus):
+                bus.subscribe("lc0/head", "zones/estimates")
+            """
+        )
+        findings = [f for f in findings if not f.suppressed]
+        assert [f.rule for f in findings] == ["RPR004"]
+        assert "zones/estimates" in findings[0].message
+
+    def test_keyword_topic_fires(self):
+        findings = _lint(
+            """
+            def f(bus, msg):
+                bus.publish(topic="zones/estimates", message=msg)
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR004"]
+
+    def test_constant_topic_allowed(self):
+        findings = _lint(
+            """
+            from repro.network.topics import TOPIC_ZONE_ESTIMATES
+
+            def f(bus, msg):
+                bus.publish(TOPIC_ZONE_ESTIMATES, msg)
+            """
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            def f(bus, msg):
+                bus.publish("zones/estimates", msg)  # reprolint: allow[raw-topic]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR004"]
+
+
+class TestRPR005FloatEq:
+    def test_float_literal_comparison_fires(self):
+        findings = _lint(
+            """
+            def f(x):
+                return x == 1.5
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR005"]
+
+    def test_float_cast_comparison_fires(self):
+        findings = _lint(
+            """
+            def f(x, y):
+                return float(x) != y
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR005"]
+
+    def test_int_comparison_allowed(self):
+        findings = _lint(
+            """
+            def f(x):
+                return x == 0 or x != 10
+            """
+        )
+        assert findings == []
+
+    def test_ordering_comparison_allowed(self):
+        findings = _lint(
+            """
+            def f(x):
+                return x <= 1.5
+            """
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            def f(peak):
+                return peak == 0.0  # reprolint: allow[float-eq]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR005"]
+
+
+class TestRPR006MutableDefault:
+    def test_literal_mutable_defaults_fire(self):
+        findings = _lint(
+            """
+            def f(a=[], b={}, c=set()):
+                return a, b, c
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR006"] * 3
+
+    def test_keyword_only_mutable_default_fires(self):
+        findings = _lint(
+            """
+            def f(*, cache=dict()):
+                return cache
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR006"]
+
+    def test_none_default_allowed(self):
+        findings = _lint(
+            """
+            def f(a=None, b=(), c=0):
+                return a, b, c
+            """
+        )
+        assert findings == []
+
+    def test_unseeded_default_rng_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR006"]
+
+    def test_seeded_default_rng_allowed(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            def f(a=[]):  # reprolint: allow[mutable-default]
+                return a
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR006"]
+
+
+class TestRPR007DeprecatedLatency:
+    def test_stats_chain_fires(self):
+        findings = _lint(
+            """
+            def f(bus):
+                return bus.stats.latency_s
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR007"]
+
+    def test_bare_stats_name_fires(self):
+        findings = _lint(
+            """
+            def f(stats):
+                return stats.latency_s
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR007"]
+
+    def test_replacement_fields_allowed(self):
+        findings = _lint(
+            """
+            def f(stats):
+                return stats.latency_sum_s + stats.mean_latency_s
+            """
+        )
+        assert findings == []
+
+    def test_unrelated_receiver_allowed(self):
+        findings = _lint(
+            """
+            def f(link):
+                return link.latency_s
+            """
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            def f(stats):
+                return stats.latency_s  # reprolint: allow[deprecated-latency-s]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR007"]
+
+
+class TestSuppressionMechanics:
+    def test_star_pragma_suppresses_everything(self):
+        findings = _lint(
+            """
+            import time
+
+            def f(x):
+                return time.time(), x == 1.5  # reprolint: allow[*]
+            """
+        )
+        assert findings and all(f.suppressed for f in findings)
+
+    def test_multiline_statement_accepts_closing_line_pragma(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                return (
+                    time.time()
+                )  # reprolint: allow[wall-clock]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR002"]
+
+    def test_pragma_on_other_line_does_not_leak(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                a = time.time()  # reprolint: allow[wall-clock]
+                b = time.time()
+                return a, b
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR002"]
+        assert _rules(findings, suppressed=True) == ["RPR002"]
+
+    def test_wrong_rule_pragma_does_not_suppress(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                return time.time()  # reprolint: allow[float-eq]
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR002"]
+
+
+class TestSelectAndErrors:
+    def test_select_filters_rules(self):
+        source = """
+            import time
+
+            def f(x):
+                return time.time(), x == 1.5
+            """
+        only_clock = _lint(source, select=["wall-clock"])
+        assert _rules(only_clock) == ["RPR002"]
+        only_float = _lint(source, select=["RPR005"])
+        assert _rules(only_float) == ["RPR005"]
+
+    def test_unknown_select_raises(self):
+        try:
+            _lint("x = 1", select=["no-such-rule"])
+        except ValueError as exc:
+            assert "no-such-rule" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_parse_error_reported_not_raised(self):
+        findings = _lint("def broken(:\n    pass")
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+        assert not findings[0].suppressed
+
+    def test_findings_sorted_by_position(self):
+        findings = _lint(
+            """
+            import time
+
+            def f(x):
+                b = x == 1.5
+                a = time.time()
+                return a, b
+            """
+        )
+        assert [f.rule for f in findings] == ["RPR005", "RPR002"]
+        assert findings[0].line < findings[1].line
+
+
+class TestTreeIsClean:
+    def test_shipped_sources_have_zero_unsuppressed_findings(self):
+        import repro
+        from pathlib import Path
+
+        pkg_root = Path(repro.__file__).parent
+        findings, scanned = lint_paths([pkg_root])
+        active = [f for f in findings if not f.suppressed]
+        assert scanned > 50
+        assert active == [], "\n".join(f.render() for f in active)
+
+    def test_rule_catalogue_is_stable(self):
+        assert set(RULES) == {
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+        }

@@ -177,8 +177,6 @@ class TestTrafficStatsLatency:
         assert stats.mean_latency_s == pytest.approx(
             stats.latency_sum_s / stats.messages
         )
-        # The deprecated alias still reads the sum.
-        assert stats.latency_s == stats.latency_sum_s
 
 
 class TestDeferredDelivery:
@@ -319,18 +317,37 @@ class TestLatencySDeprecation:
         stats.latency_sum_s = 1.25
         return stats
 
-    def test_first_access_warns_once_per_process(self, monkeypatch):
+    def test_first_access_warns_exactly_once_per_process(self, monkeypatch):
         import repro.network.bus as bus_mod
 
         monkeypatch.setattr(bus_mod, "_LATENCY_S_WARNED", False)
         stats = self._stats()
-        with pytest.warns(DeprecationWarning, match="latency_sum_s"):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             value = stats.latency_s
+            # Repeat access on this and other objects stays silent.
+            _ = stats.latency_s
+            _ = self._stats().latency_s
         assert value == stats.latency_sum_s
-        # Second access (even on a different object) stays silent.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert self._stats().latency_s == 1.25
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "latency_sum_s" in str(deprecations[0].message)
+
+    def test_no_internal_caller_reads_the_alias(self):
+        # The deprecation is finished: reprolint RPR007 holds the whole
+        # shipped package at zero `.stats.latency_s` reads (CI runs the
+        # same gate via `make lint`).
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.reprolint import lint_paths
+
+        findings, _ = lint_paths(
+            [Path(repro.__file__).parent], select=["deprecated-latency-s"]
+        )
+        assert [f for f in findings if not f.suppressed] == []
 
     def test_alias_value_tracks_sum(self, monkeypatch):
         import repro.network.bus as bus_mod
