@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz report examples clean
+.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -59,6 +59,12 @@ bench-async:
 bench-rob-byz:
 	REPRO_ROBBYZ_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_robustness_byzantine.py --benchmark-disable -s
+
+# Smoke-mode overload bench: small grid, short flood sweep.  Unset
+# REPRO_OVERLOAD_SMOKE for the full 1x-10x OVERLOAD brownout series.
+bench-overload:
+	REPRO_OVERLOAD_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_overload_brownout.py --benchmark-disable -s
 
 report: bench
 	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md

@@ -42,6 +42,13 @@ RPR007 deprecated-latency-s
     Access to the deprecated ``TrafficStats.latency_s`` alias (matched
     as ``*.stats.latency_s`` / ``stats.latency_s`` chains); internal
     code must read ``latency_sum_s`` or ``mean_latency_s``.
+RPR008 raw-inbox
+    Direct mutation of an ``Endpoint.inbox`` deque — ``*.inbox.append``
+    and friends, ``x.inbox = ...`` rebinds, ``del x.inbox[i]`` —
+    outside :mod:`repro.network.bus`.  All delivery and re-enqueueing
+    must go through the bounded-queue API (``MessageBus.requeue`` /
+    ``Endpoint.push``) so backpressure accounting and capacity bounds
+    can never be bypassed.
 
 Suppression
 -----------
@@ -115,6 +122,12 @@ RULES: dict[str, tuple[str, str]] = {
         "deprecated TrafficStats.latency_s alias; read latency_sum_s or "
         "mean_latency_s",
     ),
+    "RPR008": (
+        "raw-inbox",
+        "direct Endpoint.inbox mutation outside repro.network.bus; "
+        "deliver/re-enqueue through the bounded-queue API "
+        "(MessageBus.requeue) so capacity bounds cannot be bypassed",
+    ),
 }
 
 #: Parse failures are reported under a pseudo-rule that cannot be
@@ -170,6 +183,24 @@ _SOLVE_PHASE_FUNCS = frozenset({"solve_round"})
 _TOPIC_ARG_INDEX = {"publish": 0, "subscribe": 1, "unsubscribe": 1}
 
 _MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+# RPR008: the transport module owns the inbox deques; everywhere else
+# must use the bounded-queue API (register/requeue/push).
+_INBOX_EXEMPT_FILES = frozenset({"bus.py"})
+_INBOX_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "remove",
+        "clear",
+        "rotate",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -372,20 +403,71 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_solve_write(node, list(node.targets))
+        self._check_inbox_write(node, list(node.targets))
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_solve_write(node, [node.target])
+        self._check_inbox_write(node, [node.target])
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._check_solve_write(node, [node.target])
+            self._check_inbox_write(node, [node.target])
         self.generic_visit(node)
 
     def visit_Delete(self, node: ast.Delete) -> None:
         self._check_solve_write(node, list(node.targets))
+        self._check_inbox_write(node, list(node.targets))
         self.generic_visit(node)
+
+    # -- RPR008: inbox mutation outside the transport ------------------
+
+    def _inbox_exempt(self) -> bool:
+        return self.basename in _INBOX_EXEMPT_FILES
+
+    def _is_inbox_attr(self, node: ast.expr) -> bool:
+        """True for an ``<anything>.inbox`` attribute chain (but not a
+        bare ``inbox`` local, which is just a variable name)."""
+        return isinstance(node, ast.Attribute) and node.attr == "inbox"
+
+    def _check_inbox_write(
+        self, node: ast.stmt, targets: list[ast.expr]
+    ) -> None:
+        if self._inbox_exempt():
+            return
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._check_inbox_write(node, list(target.elts))
+            elif self._is_inbox_attr(target) or (
+                isinstance(target, ast.Subscript)
+                and self._is_inbox_attr(target.value)
+            ):
+                self._emit(
+                    "RPR008",
+                    node,
+                    "Endpoint.inbox mutated outside repro.network.bus; "
+                    "route delivery through MessageBus.requeue/push so "
+                    "the bounded-queue accounting cannot be bypassed",
+                )
+
+    def _check_inbox_call(self, node: ast.Call) -> None:
+        if self._inbox_exempt():
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _INBOX_MUTATORS
+            and self._is_inbox_attr(func.value)
+        ):
+            self._emit(
+                "RPR008",
+                node,
+                f"inbox.{func.attr}() outside repro.network.bus; route "
+                "delivery through MessageBus.requeue/push so the "
+                "bounded-queue accounting cannot be bypassed",
+            )
 
     def visit_Global(self, node: ast.Global) -> None:
         if self._solve_depth:
@@ -405,6 +487,7 @@ class _Checker(ast.NodeVisitor):
             self._check_rng_call(node, resolved)
             self._check_wall_clock_call(node, resolved)
         self._check_topic_call(node)
+        self._check_inbox_call(node)
         self.generic_visit(node)
 
     def _check_rng_call(self, node: ast.Call, resolved: str) -> None:

@@ -45,6 +45,7 @@ from ..network.message import Message, MessageKind
 from ..sensors.base import Environment, NodeState, Sensor
 from .config import BrokerConfig
 from .node import MobileNode
+from .overload import OverloadController
 from .trust import TrustManager
 
 __all__ = ["ZoneEstimate", "Broker"]
@@ -74,6 +75,11 @@ class ZoneEstimate:
     retries_used: int = 0
     planned_m: int = 0
     degraded: bool = False
+    # Overload telemetry: how many round slots old this estimate is
+    # (0 = freshly solved; N = the Nth consecutive slot it was served
+    # stale for) and the degradation-ladder level that produced it.
+    staleness_rounds: int = 0
+    degraded_level: int = 0
     # Data-fault telemetry (robust_mode != "none"): rows the robust
     # solve rejected (or all-but-ignored), refit iterations spent, the
     # nodes currently quarantined, and the broker's trust snapshot.
@@ -239,6 +245,11 @@ class Broker:
             release_at=self.config.rehab_trust,
             min_rejections=self.config.quarantine_min_rejections,
         )
+        # Overload state (detector/breaker/ladder) is zone knowledge,
+        # like trust: it rides the failover carry-over on promotion so
+        # an acting broker resumes mid-degradation.  Inert (and never
+        # consulted by the round driver) at the default-off config.
+        self.overload = OverloadController(self.config.overload)
         # config.seed pins the broker exactly (sweeps); otherwise the
         # deployment-level rng keeps whole-system runs reproducible.
         self._rng = np.random.default_rng(
@@ -579,12 +590,20 @@ class Broker:
     # LocalCloud / Hierarchy layers drive the phases separately when
     # parallel reconstruction is enabled.
 
-    def plan_round(self, *, measurements: int | None = None) -> _RoundPlan:
+    def plan_round(
+        self,
+        *,
+        measurements: int | None = None,
+        sparsity_cap: int | None = None,
+    ) -> _RoundPlan:
         """Draw one round's sampling plan (all of the round's RNG).
 
         Shared by the synchronous collect loop and the event-driven
         round driver, so both command the same cells from the same draw
-        sequence.
+        sequence.  ``sparsity_cap`` clamps the round's working sparsity
+        estimate (the degradation ladder's coarse level: a capped K
+        bounds both M and the solve's iteration count); ``None`` leaves
+        the estimate untouched.
 
         Raises
         ------
@@ -592,6 +611,8 @@ class Broker:
             If the broker has no coverage to sample from.
         """
         k_est = self._sparsity_estimate()
+        if sparsity_cap is not None:
+            k_est = min(k_est, sparsity_cap)
         m = (
             measurements
             if measurements is not None
@@ -744,6 +765,7 @@ class Broker:
         timestamp: float = 0.0,
         *,
         measurements: int | None = None,
+        sparsity_cap: int | None = None,
     ) -> _PendingRound:
         """Phase 1: plan, command, and collect one round's measurements.
 
@@ -756,7 +778,9 @@ class Broker:
         RuntimeError
             If no usable measurements could be collected.
         """
-        round_plan = self.plan_round(measurements=measurements)
+        round_plan = self.plan_round(
+            measurements=measurements, sparsity_cap=sparsity_cap
+        )
         members_by_cell = round_plan.members_by_cell
 
         collected = _Collected()
@@ -977,6 +1001,7 @@ class Broker:
         timestamp: float = 0.0,
         *,
         measurements: int | None = None,
+        sparsity_cap: int | None = None,
     ) -> ZoneEstimate:
         """Execute one compressive aggregation round (all three phases).
 
@@ -998,7 +1023,8 @@ class Broker:
             If no usable measurements could be collected.
         """
         pending = self.collect_round(
-            bus, nodes, env, timestamp, measurements=measurements
+            bus, nodes, env, timestamp,
+            measurements=measurements, sparsity_cap=sparsity_cap,
         )
         result, x_hat = self.solve_round(pending)
         return self.finalize_round(pending, result, x_hat)
@@ -1023,9 +1049,10 @@ class Broker:
                 processed += 1
             else:
                 remaining.append(message)
-        # Non-context messages go back for their actual consumers.
+        # Non-context messages go back for their actual consumers,
+        # through the bounded path (RPR008: never touch inbox directly).
         for message in remaining:
-            bus.endpoint(self.broker_id).inbox.append(message)
+            bus.requeue(message)
         return processed
 
     def disseminate(

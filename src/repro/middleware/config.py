@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .overload import OverloadConfig
+
 __all__ = ["CompressionPolicy", "BrokerConfig", "NodeConfig", "HierarchyConfig"]
 
 
@@ -162,6 +164,11 @@ class BrokerConfig:
     # Thread-pool size for parallel reconstruction; None sizes the pool
     # to min(pending zones, CPU count).
     reconstruction_workers: int | None = None
+    # Overload protection (repro.middleware.overload): admission
+    # control on round launch, the solve-deadline circuit breaker and
+    # the graceful-degradation ladder.  Every feature defaults off, so
+    # the stock config is bit-identical to the unprotected stack.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     seed: int | None = None
 
     def __post_init__(self) -> None:

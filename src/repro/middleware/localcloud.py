@@ -162,6 +162,7 @@ class LocalCloud:
         env: Environment,
         timestamp: float = 0.0,
         measurements_per_nc: list[int] | None = None,
+        sparsity_cap: int | None = None,
     ) -> list[PendingPair]:
         """Collection phase for every NanoCloud, serially in NC order.
 
@@ -176,7 +177,9 @@ class LocalCloud:
         pairs: list[PendingPair] = []
         for idx, nc in enumerate(self.nanoclouds):
             m = measurements_per_nc[idx] if measurements_per_nc else None
-            pending = nc.collect_round(env, timestamp, measurements=m)
+            pending = nc.collect_round(
+                env, timestamp, measurements=m, sparsity_cap=sparsity_cap
+            )
             pairs.append((nc.broker, pending))
         return pairs
 
@@ -242,6 +245,7 @@ class LocalCloud:
         env: Environment,
         timestamp: float = 0.0,
         measurements_per_nc: list[int] | None = None,
+        sparsity_cap: int | None = None,
     ) -> LocalCloudResult:
         """Aggregate every NanoCloud and concatenate their sub-fields.
 
@@ -251,7 +255,9 @@ class LocalCloud:
         phase fans the NC reconstructions over a thread pool; collection
         and finalisation stay serial, so the result is identical.
         """
-        pairs = self.collect_rounds(env, timestamp, measurements_per_nc)
+        pairs = self.collect_rounds(
+            env, timestamp, measurements_per_nc, sparsity_cap=sparsity_cap
+        )
         solved = solve_pending_rounds(pairs, self.config)
         return self.finish_round(pairs, solved, timestamp)
 

@@ -321,6 +321,11 @@ class NanoCloud:
         # (minus its own record — it no longer reports).
         acting.trust = old.trust
         acting.trust.forget(new_id)
+        # Overload state is zone knowledge too: the promoted broker
+        # resumes mid-degradation (same breaker state, same ladder
+        # level) instead of resetting to full-fidelity solves the zone
+        # has no budget for.
+        acting.overload = old.overload
         # Hand over the sampling stream so the promoted broker's plans
         # continue the deployment's reproducible draw sequence.
         acting._rng = old._rng
@@ -348,11 +353,13 @@ class NanoCloud:
         env: Environment,
         timestamp: float = 0.0,
         measurements: int | None = None,
+        sparsity_cap: int | None = None,
     ) -> ZoneEstimate:
         """One compressive aggregation round over this NanoCloud."""
         broker = self.prepare_round(timestamp)
         return broker.run_round(
-            self.bus, self.nodes, env, timestamp, measurements=measurements
+            self.bus, self.nodes, env, timestamp,
+            measurements=measurements, sparsity_cap=sparsity_cap,
         )
 
     def collect_round(
@@ -360,6 +367,7 @@ class NanoCloud:
         env: Environment,
         timestamp: float = 0.0,
         measurements: int | None = None,
+        sparsity_cap: int | None = None,
     ):
         """Collection phase only (heartbeat + membership + commanding).
 
@@ -370,7 +378,8 @@ class NanoCloud:
         """
         broker = self.prepare_round(timestamp)
         return broker.collect_round(
-            self.bus, self.nodes, env, timestamp, measurements=measurements
+            self.bus, self.nodes, env, timestamp,
+            measurements=measurements, sparsity_cap=sparsity_cap,
         )
 
     def total_node_energy_mj(self) -> float:

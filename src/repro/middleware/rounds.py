@@ -34,6 +34,7 @@ from __future__ import annotations
 # measure *solver compute cost* (RoundRecord.round_wall_s and
 # ZoneRoundOutcome.wall_s).  Each carries a
 # `# reprolint: allow[wall-clock]` pragma — see docs/invariants.md.
+import dataclasses
 import threading
 import time
 from dataclasses import dataclass, field
@@ -47,6 +48,7 @@ from .broker import Broker, _Collected, _RoundPlan, _RoundTelemetry
 from .localcloud import LocalCloud, LocalCloudResult, solve_pending_rounds
 from .nanocloud import NanoCloud
 from .node import MobileNode
+from .overload import OverloadController, RoundDirectives
 
 if TYPE_CHECKING:
     from ..sim.clock import PeriodicHandle, SimClock
@@ -89,7 +91,12 @@ class ZoneSchedule:
 
 @dataclass(frozen=True)
 class ZoneRoundOutcome:
-    """One completed zone round, with its command-to-estimate latency."""
+    """One completed zone round, with its command-to-estimate latency.
+
+    ``stale`` marks an overload outcome that re-serves the previous
+    round's field (breaker OPEN or ladder LEVEL_STALE) instead of
+    sensing — its estimates carry ``staleness_rounds`` > 0.
+    """
 
     zone_id: int
     result: LocalCloudResult
@@ -98,6 +105,7 @@ class ZoneRoundOutcome:
     index: int
     partial: bool = False
     wall_s: float = 0.0
+    stale: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -200,11 +208,19 @@ class ZoneRoundDriver:
         self.rounds_skipped = 0
         self.rounds_failed = 0
         self.late_reports = 0
+        # Overload accounting: busy firings that were rescheduled by
+        # admission control, and round slots served from the last good
+        # estimate (breaker OPEN / ladder LEVEL_STALE).
+        self.rounds_rescheduled = 0
+        self.rounds_stale_served = 0
         self.last_outcome: ZoneRoundOutcome | None = None
         self._generation = 0
         self._started_at = 0.0
         self._collections: list[_NcCollection] = []
         self._handle: "PeriodicHandle | None" = None
+        self._directives = RoundDirectives()
+        self._busy_streak = 0
+        self._retry_pending = False
         # The driver's state machine belongs to the thread that built it
         # (the event loop); only the inner solve may use workers.  The
         # sanitizer asserts this on every state transition.
@@ -232,6 +248,102 @@ class ZoneRoundDriver:
 
     # -- round lifecycle -----------------------------------------------
 
+    # -- overload protection -------------------------------------------
+
+    @property
+    def overload(self) -> OverloadController:
+        """The zone's overload controller (lead NC broker's state).
+
+        Read through the broker each time so a heartbeat failover —
+        which carries the controller onto the promoted acting broker —
+        keeps feeding the same detector/breaker/ladder state.
+        """
+        return self.lc.nanoclouds[0].broker.overload
+
+    def _queue_depth(self) -> int:
+        """Pending bus traffic at the zone's broker endpoints."""
+        depth = 0
+        for nc in self.lc.nanoclouds:
+            try:
+                depth += self.bus.endpoint(nc.broker.broker_id).pending()
+            except KeyError:
+                pass  # broker endpoint churned; it holds no queue
+        return depth
+
+    def _nc_budget(
+        self, broker: Broker, idx: int, directives: RoundDirectives
+    ) -> int | None:
+        """This NC's measurement budget after the ladder's M scaling."""
+        budget = (
+            self.measurements_per_nc[idx]
+            if self.measurements_per_nc is not None
+            else None
+        )
+        if directives.m_scale >= 1.0:
+            return budget
+        if budget is None:
+            k_est = broker._sparsity_estimate()
+            if directives.sparsity_cap is not None:
+                k_est = min(k_est, directives.sparsity_cap)
+            budget = broker.config.policy.measurements(broker.n, k_est)
+        return max(1, int(round(directives.m_scale * budget)))
+
+    def _handle_busy(self, now: float) -> None:
+        """A firing found the previous round still in flight."""
+        self.rounds_skipped += 1
+        cfg = self.overload.config
+        if not cfg.admission_control:
+            return
+        self._busy_streak += 1
+        over_budget = self._busy_streak > cfg.busy_skip_budget
+        self.overload.record_busy_skip(over_budget)
+        if over_budget or self._retry_pending:
+            return
+        # Admission control: rather than waiting a whole period, retry
+        # a fraction of it later — the in-flight round may close soon.
+        self._retry_pending = True
+        self.rounds_rescheduled += 1
+        self.clock.schedule_in(
+            cfg.admission_retry_frac * self.period_s, self._admission_retry
+        )
+
+    def _admission_retry(self, now: float) -> None:
+        self._retry_pending = False
+        self._begin_round(now)
+
+    def _serve_stale(self, now: float, directives: RoundDirectives) -> None:
+        """Serve the last good estimate instead of running a round."""
+        self.rounds_stale_served += 1
+        last = self.last_outcome
+        if last is None:
+            return  # nothing good to serve yet; the slot is simply lost
+        estimates = [
+            dataclasses.replace(
+                e,
+                timestamp=now,
+                degraded=True,
+                staleness_rounds=e.staleness_rounds + 1,
+                degraded_level=max(directives.level, e.degraded_level),
+            )
+            for e in last.result.nc_estimates
+        ]
+        result = LocalCloudResult(
+            field=last.result.field, nc_estimates=estimates, timestamp=now
+        )
+        outcome = ZoneRoundOutcome(
+            zone_id=self.zone_id,
+            result=result,
+            started_at=now,
+            completed_at=now,
+            index=self.rounds_completed,
+            stale=True,
+        )
+        self.last_outcome = outcome
+        if self.on_complete is not None:
+            self.on_complete(outcome)
+
+    # -- round lifecycle (continued) -----------------------------------
+
     def _begin_round(self, now: float) -> None:
         if contracts.enabled():
             contracts.assert_thread(
@@ -239,26 +351,32 @@ class ZoneRoundDriver:
             )
         if self.state not in (RoundState.IDLE, RoundState.FINALIZED):
             # The previous round is still collecting/solving: skip this
-            # firing rather than pile up overlapping rounds.
-            self.rounds_skipped += 1
+            # firing rather than pile up overlapping rounds (and, with
+            # admission control armed, retry a fraction of a period in).
+            self._handle_busy(now)
             return
+        self._busy_streak = 0
+        directives = self.overload.begin_round(self._queue_depth())
+        if directives.serve_stale:
+            self._serve_stale(now, directives)
+            return
+        self._directives = directives
         self._generation += 1
         self._started_at = now
         if not self.bus.deferred:
-            self._run_synchronous(now)
+            self._run_synchronous(now, directives)
             return
         gen = self._generation
         self.state = RoundState.COMMANDING
         self._collections = []
         for idx, nc in enumerate(self.lc.nanoclouds):
             broker = nc.prepare_round(now)
-            budget = (
-                self.measurements_per_nc[idx]
-                if self.measurements_per_nc is not None
-                else None
-            )
+            budget = self._nc_budget(broker, idx, directives)
             try:
-                plan = broker.plan_round(measurements=budget)
+                plan = broker.plan_round(
+                    measurements=budget,
+                    sparsity_cap=directives.sparsity_cap,
+                )
             except RuntimeError:
                 self._collections.append(
                     _NcCollection(nc=nc, broker=broker, plan=None)
@@ -409,8 +527,10 @@ class ZoneRoundDriver:
     ) -> None:
         if message.kind is not MessageKind.SENSE_REPORT:
             # Context shares etc. keep their inbox path for the usual
-            # consumers (Broker.process_inbox).
-            self.bus.endpoint(col.broker.broker_id).inbox.append(message)
+            # consumers (Broker.process_inbox) — re-enqueued through the
+            # bounded bus API so a saturated broker sheds them instead
+            # of queueing without limit (RPR008).
+            self.bus.requeue(message)
             return
         if gen != self._generation or self.state is not RoundState.COLLECTING:
             self.late_reports += 1
@@ -441,7 +561,7 @@ class ZoneRoundDriver:
         if message.kind is MessageKind.SENSE_COMMAND:
             node.handle_command(message, self.env, self.bus)
         else:
-            self.bus.endpoint(node.node_id).inbox.append(message)
+            self.bus.requeue(message)
 
     def _maybe_complete(self) -> None:
         if self.state is not RoundState.COLLECTING:
@@ -520,7 +640,9 @@ class ZoneRoundDriver:
         wall = time.perf_counter() - started_wall  # reprolint: allow[wall-clock]
         self._finish(result, now, partial, wall)
 
-    def _run_synchronous(self, now: float) -> None:
+    def _run_synchronous(
+        self, now: float, directives: RoundDirectives
+    ) -> None:
         """Zero-latency collapse: the whole round completes at ``now``.
 
         Bit-identical to the lockstep path — same collect/solve/finalize
@@ -529,9 +651,18 @@ class ZoneRoundDriver:
         """
         self.state = RoundState.SOLVING
         started_wall = time.perf_counter()  # reprolint: allow[wall-clock]
+        if directives.m_scale < 1.0:
+            budgets = [
+                self._nc_budget(nc.broker, idx, directives)
+                for idx, nc in enumerate(self.lc.nanoclouds)
+            ]
+        else:
+            budgets = self.measurements_per_nc
         try:
             result = self.lc.run_round(
-                self.env, now, measurements_per_nc=self.measurements_per_nc
+                self.env, now,
+                measurements_per_nc=budgets,
+                sparsity_cap=directives.sparsity_cap,
             )
         except RuntimeError:
             self.rounds_failed += 1
@@ -556,6 +687,21 @@ class ZoneRoundDriver:
             )
         self.state = RoundState.FINALIZED
         self.rounds_completed += 1
+        directives = self._directives
+        if directives.level > 0:
+            # A degraded (reduced-M / coarse) round: stamp the ladder
+            # level on the estimates so consumers can weight them.
+            for estimate in result.nc_estimates:
+                estimate.degraded = True
+                estimate.degraded_level = directives.level
+        latency = now - self._started_at
+        # A round the report deadline had to close is the breaker's
+        # "failure" signal — sim-time, so replays reproduce every trip.
+        self.overload.finish_round(
+            latency_s=latency,
+            deadline_s=self.report_deadline_s,
+            timed_out=latency >= self.report_deadline_s,
+        )
         outcome = ZoneRoundOutcome(
             zone_id=self.zone_id,
             result=result,

@@ -35,9 +35,41 @@ from .faults import FaultInjector
 from .links import WIFI, LinkModel
 from .message import Message, MessageKind
 
-__all__ = ["TrafficStats", "MessageBus", "Endpoint"]
+__all__ = ["TrafficStats", "MessageBus", "Endpoint", "DROP_POLICIES"]
 
 LATENCY_MODES = ("zero", "link")
+
+#: Bounded-inbox overflow policies.
+#:
+#: - ``drop-newest``: the arriving message is refused (tail drop).
+#: - ``drop-oldest``: the oldest queued message is evicted to make room.
+#: - ``priority``: the lowest-priority queued message is evicted if the
+#:   arrival outranks it, else the arrival is refused — commands and
+#:   control traffic outlive bulk SENSE_REPORTs under overload.
+DROP_POLICIES = ("drop-newest", "drop-oldest", "priority")
+
+#: Delivery priority rank per message kind (lower rank = kept longer
+#: under the ``priority`` drop policy).  Commands and queries steer the
+#: system; aggregates and control fan-out matter next; bulk telemetry
+#: (reports, context shares) is the first thing a saturated endpoint
+#: sheds — CS recovery treats a shed report as one more dropped row of
+#: Phi, which is exactly the degradation mode the solver tolerates.
+_KIND_RANK: dict[MessageKind, int] = {
+    MessageKind.SENSE_COMMAND: 0,
+    MessageKind.QUERY: 0,
+    MessageKind.DISCOVERY: 1,
+    MessageKind.AGGREGATE: 1,
+    MessageKind.DISSEMINATE: 1,
+    MessageKind.QUERY_RESULT: 1,
+    MessageKind.SENSE_REPORT: 2,
+    MessageKind.CONTEXT_SHARE: 2,
+}
+
+#: Loss reason for bounded-inbox drops: distinct from every injected
+#: network-fault reason ("iid-loss", "bursty-loss", "partition",
+#: "crash", "degraded-window", "unreachable") so backpressure is never
+#: mistaken for a hostile channel.
+BACKPRESSURE_REASON = "backpressure"
 
 # The latency_s deprecation fires once per process, not once per stats
 # object — sweeps read stats thousands of times and one nudge is enough.
@@ -59,6 +91,10 @@ class TrafficStats:
     receive_energy_mj: float = 0.0
     latency_sum_s: float = 0.0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    # Non-delivery accounting, split by cause so injected network
+    # faults ("iid-loss", "partition", ...) and local queue overflow
+    # ("backpressure") can never be conflated in one bucket.
+    losses_by_reason: Counter[str] = field(default_factory=Counter)
 
     def record(self, message: Message, link: LinkModel) -> None:
         self.messages += 1
@@ -67,6 +103,14 @@ class TrafficStats:
         self.receive_energy_mj += link.receive_energy_mj(message)
         self.latency_sum_s += link.transfer_latency_s(message)
         self.by_kind[message.kind.value] += 1
+
+    def record_loss(self, reason: str) -> None:
+        self.losses_by_reason[reason] += 1
+
+    @property
+    def messages_lost(self) -> int:
+        """Total non-deliveries across every reason."""
+        return sum(self.losses_by_reason.values())
 
     @property
     def total_energy_mj(self) -> float:
@@ -98,24 +142,90 @@ class TrafficStats:
 
 
 class Endpoint:
-    """One addressable participant on the bus (a node, broker or app)."""
+    """One addressable participant on the bus (a node, broker or app).
 
-    def __init__(self, address: str, link: LinkModel) -> None:
+    The inbox is *bounded* when ``inbox_capacity`` is set: an arrival
+    that would exceed the bound triggers the endpoint's drop policy
+    (see :data:`DROP_POLICIES`) and the shed message is accounted by
+    the bus under the distinct ``backpressure`` loss reason.  The
+    default (``None``) keeps the seed's unbounded deque, bit for bit.
+    All enqueues go through :meth:`push` / the bus — reprolint rule
+    RPR008 rejects direct ``inbox`` mutation outside this module, so
+    no delivery can bypass the bound.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        link: LinkModel,
+        *,
+        inbox_capacity: int | None = None,
+        drop_policy: str = "drop-newest",
+    ) -> None:
         if not address:
             raise ValueError("endpoint address must be non-empty")
+        if inbox_capacity is not None and inbox_capacity < 1:
+            raise ValueError("inbox_capacity must be >= 1 (or None)")
+        if drop_policy not in DROP_POLICIES:
+            raise ValueError(f"unknown drop_policy {drop_policy!r}")
         self.address = address
         self.link = link
         self.inbox: deque[Message] = deque()
+        self.inbox_capacity = inbox_capacity
+        self.drop_policy = drop_policy
         self.stats = TrafficStats()
         # Event-style consumption: when set, an arriving message is
         # passed to the handler instead of the inbox (the handler may
-        # re-enqueue messages it does not consume).
+        # re-enqueue messages it does not consume, via MessageBus.requeue).
         self.handler: Callable[[Message], None] | None = None
         # Per-endpoint fault accounting: messages we transmitted that
         # never arrived, and messages addressed to us that the channel
         # (or our own outage) ate.
         self.outbound_lost = 0
         self.inbound_lost = 0
+        # Bounded-inbox accounting: messages this endpoint's own full
+        # queue shed, and the deepest the queue ever got (the memory
+        # high-water mark the OVERLOAD bench reports).
+        self.dropped_backpressure = 0
+        self.inbox_peak = 0
+
+    def push(self, message: Message) -> Message | None:
+        """Enqueue respecting the bound; returns the shed message.
+
+        ``None`` means the arrival was queued without shedding anything.
+        A non-``None`` return is the message the drop policy chose to
+        lose — the arrival itself (drop-newest, or an outranked arrival
+        under ``priority``) or an evicted queued message (drop-oldest /
+        ``priority``).  The caller (the bus) accounts it.
+        """
+        if (
+            self.inbox_capacity is None
+            or len(self.inbox) < self.inbox_capacity
+        ):
+            self.inbox.append(message)
+            self.inbox_peak = max(self.inbox_peak, len(self.inbox))
+            return None
+        if self.drop_policy == "drop-oldest":
+            shed = self.inbox.popleft()
+            self.inbox.append(message)
+            return shed
+        if self.drop_policy == "priority":
+            rank = _KIND_RANK.get(message.kind, 1)
+            # Evict the newest queued message of the lowest priority
+            # that does not outrank the arrival; scanning from the back
+            # keeps older (likely in-service) traffic of equal rank.
+            worst_idx, worst_rank = -1, rank
+            for idx in range(len(self.inbox) - 1, -1, -1):
+                queued_rank = _KIND_RANK.get(self.inbox[idx].kind, 1)
+                if queued_rank > worst_rank:
+                    worst_idx, worst_rank = idx, queued_rank
+            if worst_idx < 0:
+                return message  # nothing outranked: shed the arrival
+            shed = self.inbox[worst_idx]
+            del self.inbox[worst_idx]
+            self.inbox.append(message)
+            return shed
+        return message  # drop-newest: refuse the arrival
 
     def drain(self) -> list[Message]:
         """Remove and return all pending messages, oldest first."""
@@ -151,6 +261,12 @@ class MessageBus:
         ``latency_mode="link"`` for latency-faithful scheduled delivery;
         the default ``"zero"`` keeps the synchronous seed path even when
         a clock is attached.
+    inbox_capacity / drop_policy:
+        Default bound for every endpoint registered on this bus
+        (``None`` = unbounded, the seed behaviour).  ``register`` can
+        override per endpoint.  Overflow drops are charged to the
+        distinct ``backpressure`` loss reason, never to the fault
+        reasons the injector uses.
     """
 
     def __init__(
@@ -161,22 +277,38 @@ class MessageBus:
         fault_injector: FaultInjector | None = None,
         clock=None,
         latency_mode: str = "zero",
+        inbox_capacity: int | None = None,
+        drop_policy: str = "drop-newest",
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         if latency_mode not in LATENCY_MODES:
             raise ValueError(f"unknown latency_mode {latency_mode!r}")
+        if inbox_capacity is not None and inbox_capacity < 1:
+            raise ValueError("inbox_capacity must be >= 1 (or None)")
+        if drop_policy not in DROP_POLICIES:
+            raise ValueError(f"unknown drop_policy {drop_policy!r}")
         self.default_link = default_link
         self.loss_rate = loss_rate
         self.fault_injector = fault_injector
         self.clock = clock
         self.latency_mode = latency_mode
+        self.inbox_capacity = inbox_capacity
+        self.drop_policy = drop_policy
         self._endpoints: dict[str, Endpoint] = {}
         self._subscriptions: dict[str, set[str]] = defaultdict(set)
         self.stats = TrafficStats()
-        self.messages_lost = 0
-        self.losses_by_reason: Counter[str] = Counter()
         self._loss_rng = _random.Random(seed)
+
+    @property
+    def messages_lost(self) -> int:
+        """Total non-deliveries, every reason (channel + backpressure)."""
+        return self.stats.messages_lost
+
+    @property
+    def losses_by_reason(self) -> Counter[str]:
+        """Per-reason non-delivery counts (lives on :attr:`stats`)."""
+        return self.stats.losses_by_reason
 
     # -- clocked transport --------------------------------------------
 
@@ -201,11 +333,31 @@ class MessageBus:
 
     # -- registration -------------------------------------------------
 
-    def register(self, address: str, link: LinkModel | None = None) -> Endpoint:
-        """Register (or fetch) the endpoint for ``address``."""
+    def register(
+        self,
+        address: str,
+        link: LinkModel | None = None,
+        *,
+        inbox_capacity: int | None = None,
+        drop_policy: str | None = None,
+    ) -> Endpoint:
+        """Register (or fetch) the endpoint for ``address``.
+
+        ``inbox_capacity``/``drop_policy`` override the bus defaults for
+        this endpoint (``None`` = inherit the bus setting).
+        """
         if address in self._endpoints:
             return self._endpoints[address]
-        endpoint = Endpoint(address, link or self.default_link)
+        endpoint = Endpoint(
+            address,
+            link or self.default_link,
+            inbox_capacity=(
+                inbox_capacity
+                if inbox_capacity is not None
+                else self.inbox_capacity
+            ),
+            drop_policy=drop_policy or self.drop_policy,
+        )
         self._endpoints[address] = endpoint
         return endpoint
 
@@ -378,19 +530,63 @@ class MessageBus:
         if destination.handler is not None:
             destination.handler(message)
         else:
-            destination.inbox.append(message)
+            self._enqueue(destination, message)
+
+    def _enqueue(self, destination: Endpoint, message: Message) -> bool:
+        """Push through the bounded inbox, accounting any overflow shed.
+
+        Returns True when ``message`` itself ended up queued (something
+        *else* may have been evicted to make room); False when the drop
+        policy refused the arrival.
+        """
+        shed = destination.push(message)
+        if shed is not None:
+            self._record_backpressure(shed, destination)
+        return shed is not message
+
+    def requeue(self, message: Message) -> bool:
+        """Re-enqueue an already-delivered message at its destination.
+
+        The supported way for handlers and pollers to put back traffic
+        they drained but did not consume: it re-enters through the
+        bounded inbox (so the bound can never be dodged by a re-enqueue)
+        but is *not* re-metered — the radio was paid exactly once, at
+        delivery.  Returns True when the message is back in the queue.
+        """
+        return self._enqueue(self.endpoint(message.destination), message)
+
+    def _record_backpressure(
+        self, shed: Message, destination: Endpoint
+    ) -> None:
+        """Account a queue-overflow drop at ``destination``.
+
+        Delivery metering (bytes, energy, latency) already happened in
+        :meth:`_finish_delivery` before the queue refused the message,
+        so only the non-delivery counters move — backpressure never
+        re-bills the radio, and it is charged to its own reason so it
+        can never be confused with an injected channel fault.
+        """
+        destination.dropped_backpressure += 1
+        destination.stats.record_loss(BACKPRESSURE_REASON)
+        if shed.source in self._endpoints:
+            self._endpoints[shed.source].stats.record_loss(
+                BACKPRESSURE_REASON
+            )
+        self.stats.record_loss(BACKPRESSURE_REASON)
 
     def _record_loss(
         self, message: Message, link: LinkModel, reason: str
     ) -> None:
         """Account a dropped delivery: the sender still burned its radio."""
-        self.messages_lost += 1
-        self.losses_by_reason[reason] += 1
+        self.stats.record_loss(reason)
         if message.destination in self._endpoints:
-            self._endpoints[message.destination].inbound_lost += 1
+            destination = self._endpoints[message.destination]
+            destination.inbound_lost += 1
+            destination.stats.record_loss(reason)
         if message.source in self._endpoints:
             sender = self._endpoints[message.source]
             sender.outbound_lost += 1
+            sender.stats.record_loss(reason)
             sender.stats.messages += 1
             sender.stats.bytes += message.size_bytes
             sender.stats.transmit_energy_mj += link.transfer_energy_mj(

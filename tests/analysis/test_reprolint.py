@@ -437,6 +437,75 @@ class TestRPR007DeprecatedLatency:
         assert _rules(findings, suppressed=True) == ["RPR007"]
 
 
+class TestRPR008RawInbox:
+    def test_inbox_append_fires(self):
+        findings = _lint(
+            """
+            def f(bus, message):
+                bus.endpoint("b").inbox.append(message)
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR008"]
+
+    def test_inbox_rebind_fires(self):
+        findings = _lint(
+            """
+            def f(endpoint):
+                endpoint.inbox = []
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR008"]
+
+    def test_inbox_item_delete_fires(self):
+        findings = _lint(
+            """
+            def f(endpoint, idx):
+                del endpoint.inbox[idx]
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR008"]
+
+    def test_bus_module_exempt(self):
+        findings = _lint(
+            """
+            def push(self, message):
+                self.inbox.append(message)
+            """,
+            path="bus.py",
+        )
+        assert findings == []
+
+    def test_reads_allowed(self):
+        findings = _lint(
+            """
+            def f(endpoint):
+                depth = len(endpoint.inbox)
+                copy = list(endpoint.inbox)
+                return depth, copy
+            """
+        )
+        assert findings == []
+
+    def test_unrelated_append_allowed(self):
+        findings = _lint(
+            """
+            def f(outbox, inbox, message):
+                outbox.append(message)
+                inbox.append(message)  # bare local, not an attribute
+            """
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            def f(endpoint, message):
+                endpoint.inbox.append(message)  # reprolint: allow[raw-inbox]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR008"]
+
+
 class TestSuppressionMechanics:
     def test_star_pragma_suppresses_everything(self):
         findings = _lint(
@@ -549,4 +618,5 @@ class TestTreeIsClean:
             "RPR005",
             "RPR006",
             "RPR007",
+            "RPR008",
         }

@@ -1,0 +1,208 @@
+"""Bounded-inbox backpressure: drop policies and loss accounting.
+
+The overload tentpole's transport layer: endpoints may carry a capacity
+bound, overflow is shed by a configurable drop policy, and every shed
+message is charged to the distinct ``backpressure`` loss reason so queue
+overflow and injected channel faults can never be conflated.
+"""
+
+import pytest
+
+from repro.network.bus import BACKPRESSURE_REASON, DROP_POLICIES, MessageBus
+from repro.network.faults import FaultInjector, GilbertElliottLoss
+from repro.network.message import Message, MessageKind
+
+
+def _msg(src, dst, kind=MessageKind.SENSE_REPORT, tag=None):
+    return Message(
+        kind=kind,
+        source=src,
+        destination=dst,
+        payload={"tag": tag} if tag is not None else {},
+    )
+
+
+def _tags(endpoint):
+    return [m.payload.get("tag") for m in endpoint.inbox]
+
+
+class TestBoundedInbox:
+    def test_default_is_unbounded(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        for i in range(500):
+            bus.send(_msg("a", "b", tag=i))
+        assert bus.endpoint("b").pending() == 500
+        assert bus.messages_lost == 0
+        assert bus.losses_by_reason[BACKPRESSURE_REASON] == 0
+
+    def test_drop_newest_refuses_arrivals(self):
+        bus = MessageBus(inbox_capacity=3, drop_policy="drop-newest")
+        bus.register("a")
+        bus.register("b")
+        for i in range(5):
+            bus.send(_msg("a", "b", tag=i))
+        endpoint = bus.endpoint("b")
+        assert _tags(endpoint) == [0, 1, 2]
+        assert endpoint.dropped_backpressure == 2
+        assert bus.losses_by_reason[BACKPRESSURE_REASON] == 2
+        assert bus.messages_lost == 2
+
+    def test_drop_oldest_evicts_head(self):
+        bus = MessageBus(inbox_capacity=3, drop_policy="drop-oldest")
+        bus.register("a")
+        bus.register("b")
+        for i in range(5):
+            bus.send(_msg("a", "b", tag=i))
+        assert _tags(bus.endpoint("b")) == [2, 3, 4]
+        assert bus.losses_by_reason[BACKPRESSURE_REASON] == 2
+
+    def test_priority_command_outlives_bulk_reports(self):
+        bus = MessageBus(inbox_capacity=3, drop_policy="priority")
+        bus.register("a")
+        bus.register("b")
+        for i in range(3):
+            bus.send(_msg("a", "b", tag=i))
+        bus.send(_msg("a", "b", kind=MessageKind.SENSE_COMMAND, tag="cmd"))
+        endpoint = bus.endpoint("b")
+        kinds = [m.kind for m in endpoint.inbox]
+        assert MessageKind.SENSE_COMMAND in kinds
+        # The newest bulk report was the one evicted.
+        assert _tags(endpoint) == [0, 1, "cmd"]
+        assert endpoint.dropped_backpressure == 1
+
+    def test_priority_refuses_arrival_that_does_not_outrank(self):
+        bus = MessageBus(inbox_capacity=2, drop_policy="priority")
+        bus.register("a")
+        bus.register("b")
+        for i in range(2):
+            bus.send(_msg("a", "b", kind=MessageKind.SENSE_COMMAND, tag=i))
+        bus.send(_msg("a", "b", kind=MessageKind.CONTEXT_SHARE, tag="ctx"))
+        endpoint = bus.endpoint("b")
+        assert _tags(endpoint) == [0, 1]  # commands untouched
+        assert endpoint.dropped_backpressure == 1
+
+    def test_inbox_peak_high_water_mark(self):
+        bus = MessageBus(inbox_capacity=4)
+        bus.register("a")
+        bus.register("b")
+        for i in range(10):
+            bus.send(_msg("a", "b", tag=i))
+        endpoint = bus.endpoint("b")
+        assert endpoint.inbox_peak == 4
+        endpoint.drain()
+        assert endpoint.inbox_peak == 4  # peak survives the drain
+
+    def test_conservation_with_bound(self):
+        bus = MessageBus(inbox_capacity=7)
+        bus.register("a")
+        bus.register("b")
+        for i in range(30):
+            bus.send(_msg("a", "b", tag=i))
+        assert bus.endpoint("b").pending() + bus.messages_lost == 30
+        assert bus.stats.messages == 30  # every send fully metered
+
+    def test_backpressure_does_not_rebill_radio(self):
+        unbounded = MessageBus()
+        unbounded.register("a")
+        unbounded.register("b")
+        bounded = MessageBus(inbox_capacity=1)
+        bounded.register("a")
+        bounded.register("b")
+        for i in range(10):
+            unbounded.send(_msg("a", "b", tag=i))
+            bounded.send(_msg("a", "b", tag=i))
+        # The shed deliveries were already metered once; shedding them
+        # must not change bytes or energy relative to the unbounded run.
+        assert bounded.stats.bytes == unbounded.stats.bytes
+        assert (
+            bounded.stats.transmit_energy_mj
+            == unbounded.stats.transmit_energy_mj
+        )
+
+    def test_per_endpoint_override(self):
+        bus = MessageBus(inbox_capacity=2)
+        bus.register("a")
+        bus.register("roomy", inbox_capacity=100)
+        bus.register("b")
+        for i in range(5):
+            bus.send(_msg("a", "roomy", tag=i))
+            bus.send(_msg("a", "b", tag=i))
+        assert bus.endpoint("roomy").pending() == 5
+        assert bus.endpoint("b").pending() == 2
+
+    def test_requeue_respects_bound(self):
+        bus = MessageBus(inbox_capacity=2)
+        bus.register("a")
+        bus.register("b")
+        for i in range(2):
+            bus.send(_msg("a", "b", tag=i))
+        drained = bus.endpoint("b").drain()
+        extra = _msg("a", "b", tag="late")
+        bus.send(extra)
+        bus.send(_msg("a", "b", tag="later"))
+        # Re-enqueueing the drained traffic on a now-full queue sheds.
+        assert not bus.requeue(drained[0])
+        assert bus.losses_by_reason[BACKPRESSURE_REASON] == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MessageBus(inbox_capacity=0)
+        with pytest.raises(ValueError):
+            MessageBus(drop_policy="drop-sideways")
+        assert "priority" in DROP_POLICIES
+
+
+class TestDropAccountingSplit:
+    """Satellite: injected faults and backpressure keep distinct books."""
+
+    def test_loss_injection_and_full_inbox_count_separately(self):
+        bus = MessageBus(loss_rate=0.4, seed=7, inbox_capacity=5)
+        bus.register("a")
+        bus.register("b")
+        sent = 60
+        for i in range(sent):
+            bus.send(_msg("a", "b", tag=i))
+        iid = bus.losses_by_reason["iid-loss"]
+        backpressure = bus.losses_by_reason[BACKPRESSURE_REASON]
+        assert iid > 0
+        assert backpressure > 0
+        # Every channel survivor either sits in the queue or was shed.
+        assert bus.endpoint("b").pending() + backpressure == sent - iid
+        # The two reasons partition the total; no double counting.
+        assert iid + backpressure == bus.messages_lost
+
+    def test_fault_injector_reason_distinct_from_backpressure(self):
+        injector = FaultInjector(
+            GilbertElliottLoss(
+                p_enter_bad=0.3, p_exit_bad=0.3, loss_bad=0.9, seed=3
+            )
+        )
+        bus = MessageBus(fault_injector=injector, inbox_capacity=3)
+        bus.register("a")
+        bus.register("b")
+        for i in range(40):
+            bus.send(_msg("a", "b", tag=i))
+        reasons = set(bus.losses_by_reason)
+        assert BACKPRESSURE_REASON in reasons
+        assert bus.losses_by_reason[BACKPRESSURE_REASON] > 0
+        # Whatever the injector charged, it never used our reason.
+        injected = bus.messages_lost - bus.losses_by_reason[
+            BACKPRESSURE_REASON
+        ]
+        assert injected == sum(
+            count
+            for reason, count in bus.losses_by_reason.items()
+            if reason != BACKPRESSURE_REASON
+        )
+
+    def test_channel_loss_does_not_touch_backpressure_counter(self):
+        bus = MessageBus(loss_rate=0.5, seed=11)
+        bus.register("a")
+        bus.register("b")
+        for i in range(50):
+            bus.send(_msg("a", "b", tag=i))
+        assert bus.messages_lost > 0
+        assert bus.losses_by_reason[BACKPRESSURE_REASON] == 0
+        assert bus.endpoint("b").dropped_backpressure == 0

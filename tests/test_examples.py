@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "health_group.py",
     "spacetime_window.py",
     "byzantine_zone.py",
+    "overload_zone.py",
 ]
 
 
@@ -47,6 +48,7 @@ def test_all_examples_exist():
         "spacetime_window.py",
         "earthquake_response.py",
         "byzantine_zone.py",
+        "overload_zone.py",
     }
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present
