@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload report examples clean
+.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload bench-mega report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -65,6 +65,13 @@ bench-rob-byz:
 bench-overload:
 	REPRO_OVERLOAD_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_overload_brownout.py --benchmark-disable -s
+
+# Smoke-mode city-scale bench: small populations, no timing
+# assertions.  Unset REPRO_MEGA_SMOKE for the full 100k-node MEGA
+# series committed in BENCH_MEGA.json.
+bench-mega:
+	REPRO_MEGA_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_mega_scale.py --benchmark-disable -s
 
 report: bench
 	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md

@@ -37,6 +37,7 @@ __all__ = [
     "check_vector",
     "check_shape",
     "guard_shared_array",
+    "digest_array",
     "verify_shared_arrays",
     "guarded_array_count",
     "reset_guards",
@@ -133,6 +134,18 @@ _GUARDED: dict[int, tuple[np.ndarray, str]] = {}
 
 def _digest(array: np.ndarray) -> str:
     return hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def digest_array(array: np.ndarray) -> str:
+    """Content checksum of an array (sha1 over its C-order bytes).
+
+    Public so the shared-memory registry (:mod:`repro.core.shardmem`)
+    can stamp a segment's expected digest into the spec it ships to
+    worker processes — the cross-process extension of the in-process
+    :func:`verify_shared_arrays` invariant.  Always available (not
+    sanitizer-gated): exporters pay it once per segment, not per round.
+    """
+    return _digest(array)
 
 
 def guard_shared_array(array: np.ndarray) -> np.ndarray:

@@ -49,6 +49,14 @@ RPR008 raw-inbox
     must go through the bounded-queue API (``MessageBus.requeue`` /
     ``Endpoint.push``) so backpressure accounting and capacity bounds
     can never be bypassed.
+RPR009 worker-rng
+    RNG construction (``np.random.default_rng`` / ``Generator`` /
+    ``SeedSequence`` / ``random.Random``) inside a worker-entry
+    function (any function whose name contains ``worker``).  Ad-hoc
+    worker seeding silently correlates shard streams; per-shard
+    generators must be derived in the parent via
+    :func:`repro.core.registry.spawn_shard_seeds` /
+    :func:`repro.core.registry.shard_rng` and passed in.
 
 Suppression
 -----------
@@ -127,6 +135,12 @@ RULES: dict[str, tuple[str, str]] = {
         "direct Endpoint.inbox mutation outside repro.network.bus; "
         "deliver/re-enqueue through the bounded-queue API "
         "(MessageBus.requeue) so capacity bounds cannot be bypassed",
+    ),
+    "RPR009": (
+        "worker-rng",
+        "RNG constructed inside a worker-entry function; derive "
+        "per-shard streams via repro.core.registry.spawn_shard_seeds / "
+        "shard_rng in the parent and pass them in",
     ),
 }
 
@@ -278,6 +292,7 @@ class _Checker(ast.NodeVisitor):
         #  "time.perf_counter", "datetime": "datetime.datetime"}
         self.aliases: dict[str, str] = {}
         self._solve_depth = 0
+        self._worker_depth = 0
 
     # -- helpers -------------------------------------------------------
 
@@ -367,12 +382,20 @@ class _Checker(ast.NodeVisitor):
             self.basename in _SOLVE_PHASE_FILES
             and node.name in _SOLVE_PHASE_FUNCS
         )
+        # RPR009 scope: worker-entry functions (and their nested
+        # helpers) are the code multiprocessing dispatches into — the
+        # naming convention the middleware uses throughout.
+        in_worker = "worker" in node.name.lower()
+        if in_worker:
+            self._worker_depth += 1
         if in_solve or self._solve_depth:
             self._solve_depth += 1
             self.generic_visit(node)
             self._solve_depth -= 1
         else:
             self.generic_visit(node)
+        if in_worker:
+            self._worker_depth -= 1
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
@@ -528,6 +551,28 @@ class _Checker(ast.NodeVisitor):
                 "np.random.default_rng() without a seed is entropy-seeded "
                 "and unreplayable; thread an explicit seed or Generator "
                 "through",
+            )
+        if self._worker_depth and (
+            (
+                len(parts) == 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] in _NP_RANDOM_ALLOWED
+            )
+            or (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _PY_RANDOM_ALLOWED
+            )
+        ):
+            self._emit(
+                "RPR009",
+                node,
+                f"{resolved}() constructed inside a worker-entry "
+                "function; ad-hoc worker seeding correlates shard "
+                "streams — derive the stream in the parent via "
+                "repro.core.registry.spawn_shard_seeds/shard_rng and "
+                "pass it in",
             )
 
     def _check_wall_clock_call(self, node: ast.Call, resolved: str) -> None:

@@ -28,9 +28,19 @@ import numpy as np
 
 from ..analysis import contracts
 from .incremental import IncrementalQR
-from .least_squares import whiten
+from .least_squares import gls_solve, ols_solve, whiten
 
 __all__ = ["OMPResult", "omp"]
+
+#: Problem sizes (``M * N``) at or below which the fast engine dispatches
+#: to the lean dense loop.  For small dictionaries the rank-1 QR
+#: bookkeeping and up-front whitening cost more than they save — the
+#: PERF bench measured the incremental path at 0.46x reference at
+#: N=256 and 0.89x at N=1024; a from-scratch refit with no per-iteration
+#: Python overhead beats reference at those sizes.  The pinned bench
+#: sizes N=256 (M=32) and N=1024 (M=128) fall below this threshold,
+#: N=4096 (M=512) stays on the incremental path.
+DENSE_CROSSOVER = 1 << 18
 
 
 @dataclass
@@ -118,6 +128,11 @@ def omp(
     col_norms = np.linalg.norm(phi_tilde, axis=0)
     safe_norms = np.where(col_norms > 0, col_norms, 1.0)
 
+    if m * n <= DENSE_CROSSOVER:
+        return _omp_dense(
+            phi_tilde, x_s, sparsity, safe_norms, tol=tol, covariance=covariance
+        )
+
     if covariance is None:
         dict_fit, x_fit = phi_tilde, x_s
     else:
@@ -146,6 +161,70 @@ def omp(
             )
             contracts.check_finite("alpha_sub", alpha_sub, context="omp refit")
         residual = x_s - phi_tilde[:, support] @ alpha_sub
+        history.append(float(np.linalg.norm(residual)))
+        if history[-1] <= target:
+            break
+
+    coefficients = np.zeros(n)
+    if support:
+        coefficients[support] = alpha_sub
+    return OMPResult(
+        coefficients=coefficients,
+        support=np.asarray(support, dtype=int),
+        residual_norm=float(np.linalg.norm(residual)),
+        iterations=len(support),
+        residual_history=history,
+    )
+
+
+def _omp_dense(
+    phi_tilde: np.ndarray,
+    x_s: np.ndarray,
+    sparsity: int,
+    safe_norms: np.ndarray,
+    *,
+    tol: float,
+    covariance: np.ndarray | None,
+) -> OMPResult:
+    """Lean small-problem loop: from-scratch refits, no QR bookkeeping.
+
+    Runs the reference algorithm (so it agrees with
+    :func:`repro.core.reference.omp_reference` exactly, not just to the
+    1e-8 oracle tolerance) with two constant-factor trims the reference
+    form deliberately keeps for readability: the selected columns grow
+    in a preallocated buffer instead of being re-gathered with a fancy
+    index each iteration, and re-selection is suppressed with a boolean
+    mask instead of a list-indexed assignment.
+    """
+    m, n = phi_tilde.shape
+    sub = np.empty((m, sparsity))
+    residual = x_s.copy()
+    target = tol * max(np.linalg.norm(x_s), 1e-300)
+    support: list[int] = []
+    in_support = np.zeros(n, dtype=bool)
+    alpha_sub = np.zeros(0)
+    history: list[float] = []
+
+    for _ in range(sparsity):
+        correlations = np.abs(phi_tilde.T @ residual) / safe_norms
+        correlations[in_support] = -np.inf  # never reselect
+        best = int(np.argmax(correlations))
+        if not np.isfinite(correlations[best]) or correlations[best] <= 0:
+            break
+        support.append(best)
+        in_support[best] = True
+        sub[:, len(support) - 1] = phi_tilde[:, best]
+        picked = sub[:, : len(support)]
+        if covariance is None:
+            alpha_sub = ols_solve(picked, x_s)
+        else:
+            alpha_sub = gls_solve(picked, x_s, covariance)
+        if contracts.enabled():
+            contracts.check_vector(
+                "alpha_sub", alpha_sub, len(support), context="omp refit"
+            )
+            contracts.check_finite("alpha_sub", alpha_sub, context="omp refit")
+        residual = x_s - picked @ alpha_sub
         history.append(float(np.linalg.norm(residual)))
         if history[-1] <= target:
             break

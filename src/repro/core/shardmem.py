@@ -1,0 +1,218 @@
+"""Cross-process shared-memory arrays for sharded zone solves.
+
+The in-process basis registry (:mod:`repro.core.registry`) memoises one
+dense basis per shape and hands out read-only, checksummed views.  A
+sharded simulation spreads zone solves across *worker processes*, and
+pickling an ``N x N`` basis into every task would drown the win — so
+this module migrates registry arrays into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): the parent exports a segment
+once, workers attach a zero-copy read-only view, and the sanitizer's
+checksum invariant extends across the process boundary because every
+exported segment carries its sha1 digest in the
+:class:`SharedArraySpec` the workers receive.
+
+Lifecycle rules (tested in ``tests/core/test_shardmem.py``):
+
+- the parent process *owns* every segment it exports and is the only
+  process that unlinks; :func:`release_shared_arrays` runs on engine
+  shutdown and again via ``atexit``, so a crashed worker (or a bench
+  run that dies mid-fan-out) never leaks ``/dev/shm`` segments — the
+  owner survives the worker and still cleans up;
+- workers only ever ``close()`` their attachment (also ``atexit``);
+  they never unlink, so one worker's exit cannot yank the mapping from
+  its siblings;
+- attaching verifies the spec's digest under ``REPRO_SANITIZE=1`` and
+  registers the view with :func:`repro.analysis.contracts.guard_shared_array`,
+  so a worker-side ``verify_shared_arrays()`` re-checksums exactly like
+  the in-process parallel solve path does.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..analysis import contracts
+
+__all__ = [
+    "SharedArraySpec",
+    "export_shared_array",
+    "attach_shared_array",
+    "verify_spec",
+    "release_shared_arrays",
+    "close_attachments",
+    "exported_segment_names",
+    "attached_segment_names",
+]
+
+_PREFIX = "repro-shm"
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything a worker needs to attach one shared array.
+
+    Picklable by design: specs ride in the worker initializer args.
+    ``sha1`` is the content digest at export time — the cross-process
+    checksum invariant (docs/invariants.md).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    sha1: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+# Segments this process *exported* (owner side): name -> handle.
+_EXPORTED: dict[str, shared_memory.SharedMemory] = {}
+# Segments this process *attached* (worker side): name -> (handle, view).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+_ATEXIT_REGISTERED = False
+
+
+def _register_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(release_shared_arrays)
+        atexit.register(close_attachments)
+        _ATEXIT_REGISTERED = True
+
+
+def export_shared_array(tag: str, array: np.ndarray) -> SharedArraySpec:
+    """Copy ``array`` into a named shared-memory segment and own it.
+
+    Returns the spec workers attach with.  Exporting the same ``tag``
+    twice returns a fresh segment each time (names embed the pid and a
+    counter), so callers should export once and reuse the spec.
+    """
+    arr = np.ascontiguousarray(array)
+    name = f"{_PREFIX}-{os.getpid()}-{tag}-{len(_EXPORTED)}"
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(arr.nbytes, 1), name=name
+    )
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+    view[...] = arr
+    view.setflags(write=False)
+    _EXPORTED[name] = segment
+    _register_atexit()
+    return SharedArraySpec(
+        name=name,
+        shape=tuple(arr.shape),
+        dtype=str(arr.dtype),
+        sha1=contracts.digest_array(arr),
+    )
+
+
+def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
+    """Attach a read-only view of an exported segment (worker side).
+
+    Attachments are cached per process and per segment name, so a
+    worker solving many zones maps the basis once.  Under the sanitizer
+    the view is digest-verified against the spec and registered with
+    the mutation guard, extending ``verify_shared_arrays`` across the
+    process boundary.
+    """
+    cached = _ATTACHED.get(spec.name)
+    if cached is not None:
+        return cached[1]
+    segment = shared_memory.SharedMemory(name=spec.name)
+    view: np.ndarray = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+    )
+    view.setflags(write=False)
+    if contracts.enabled():
+        digest = contracts.digest_array(view)
+        if digest != spec.sha1:
+            segment.close()
+            raise contracts.ContractViolation(
+                f"shared segment {spec.name!r} digest {digest[:12]} != "
+                f"exported {spec.sha1[:12]}; the basis was mutated (or "
+                "torn down) between export and attach"
+            )
+        view = contracts.guard_shared_array(view)
+    _ATTACHED[spec.name] = (segment, view)
+    _register_atexit()
+    return view
+
+
+def verify_spec(spec: SharedArraySpec, *, context: str = "shard fan-out") -> None:
+    """Re-checksum a live segment against its spec (parent or worker).
+
+    The explicit cross-process analogue of
+    :func:`repro.analysis.contracts.verify_shared_arrays`: callers run
+    it after a multiprocess fan-out to prove no worker scribbled on the
+    shared basis.  Unlike the guard table this is not sanitizer-gated —
+    tests use it directly.
+    """
+    handle = _EXPORTED.get(spec.name)
+    if handle is not None:
+        view: np.ndarray = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf
+        )
+    elif spec.name in _ATTACHED:
+        view = _ATTACHED[spec.name][1]
+    else:
+        raise KeyError(f"segment {spec.name!r} is not mapped in this process")
+    digest = contracts.digest_array(view)
+    if digest != spec.sha1:
+        raise contracts.ContractViolation(
+            f"{context}: shared segment {spec.name!r} digest changed "
+            f"({digest[:12]} != {spec.sha1[:12]}); a worker mutated the "
+            "read-only basis every shard shares"
+        )
+
+
+def release_shared_arrays(names: list[str] | None = None) -> int:
+    """Unlink exported segments (all of them by default); returns the count.
+
+    Idempotent, and registered with ``atexit`` on first export so a
+    failed bench run cannot leak ``/dev/shm`` segments.  Pass ``names``
+    to release one simulation's segments without touching segments
+    another live simulation in the same process still owns.
+    """
+    released = 0
+    items = (
+        list(_EXPORTED.items())
+        if names is None
+        else [(n, _EXPORTED[n]) for n in names if n in _EXPORTED]
+    )
+    for name, segment in items:
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # already gone (double shutdown)
+            pass
+        del _EXPORTED[name]
+        released += 1
+    return released
+
+
+def close_attachments() -> int:
+    """Close (never unlink) every attached segment; returns the count."""
+    closed = 0
+    for name, (segment, _view) in list(_ATTACHED.items()):
+        try:
+            segment.close()
+        except BufferError:
+            # A live numpy view still pins the mapping; leave it to
+            # process teardown rather than invalidating the view.
+            continue
+        del _ATTACHED[name]
+        closed += 1
+    return closed
+
+
+def exported_segment_names() -> list[str]:
+    return sorted(_EXPORTED)
+
+
+def attached_segment_names() -> list[str]:
+    return sorted(_ATTACHED)

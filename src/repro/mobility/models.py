@@ -24,6 +24,12 @@ __all__ = [
     "RandomWaypoint",
     "GaussMarkov",
     "mode_from_speed",
+    "MODE_NAMES",
+    "mode_codes_from_speed",
+    "static_step_arrays",
+    "gauss_markov_step_arrays",
+    "random_waypoint_new_legs",
+    "random_waypoint_step_arrays",
 ]
 
 #: Speed thresholds (grid cells / s) separating idle / walking / driving.
@@ -108,6 +114,7 @@ class RandomWaypoint(MobilityModel):
         speed = self._rng.uniform(*self.speed_range)
         state._rwp_target = (target_x, target_y)  # type: ignore[attr-defined]
         state._rwp_pause = self._rng.uniform(*self.pause_range)  # type: ignore[attr-defined]
+        state._rwp_speed = float(speed)  # type: ignore[attr-defined]
         state.speed = float(speed)
         state.heading = float(
             np.arctan2(target_y - state.y, target_x - state.x)
@@ -124,6 +131,9 @@ class RandomWaypoint(MobilityModel):
             state.speed = 0.0
             state.mode = "idle"
             return
+        # Resume the leg speed the pause branch zeroed, otherwise a node
+        # that ever paused would travel at 0 forever and never re-plan.
+        state.speed = getattr(state, "_rwp_speed", state.speed)
         tx, ty = state._rwp_target  # type: ignore[attr-defined]
         remaining = float(np.hypot(tx - state.x, ty - state.y))
         travel = state.speed * dt
@@ -194,3 +204,192 @@ class GaussMarkov(MobilityModel):
             state.heading = float(-state.heading)
         self._clamp(state)
         state.mode = mode_from_speed(state.speed)
+
+
+# -- vectorized array steps ---------------------------------------------
+#
+# The struct-of-arrays population core (:mod:`repro.sim.population`)
+# advances every node with one numpy expression instead of one Python
+# call per node.  Each function below is the *bit-exact* vectorization
+# of the matching scalar ``step`` above: the same IEEE operations in the
+# same association order, with random draws consumed as one chunk per
+# tick in ascending node order — ``Generator.standard_normal((k, 2))``
+# consumes the stream exactly like ``2k`` scalar draws, which is what
+# the vector-vs-object Hypothesis pin in ``tests/sim/test_population.py``
+# verifies.  All functions mutate their array arguments in place.
+
+#: Activity-mode codes used by the array core; index matches the string
+#: names the object path stores on ``NodeState.mode``.
+MODE_NAMES: tuple[str, ...] = ("idle", "walking", "driving")
+
+
+def mode_codes_from_speed(speeds: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mode_from_speed`: 0=idle, 1=walking, 2=driving."""
+    speeds = np.asarray(speeds)
+    codes = np.ones(speeds.shape, dtype=np.int8)
+    codes[speeds < WALK_SPEED_THRESHOLD] = 0
+    codes[speeds >= DRIVE_SPEED_THRESHOLD] = 2
+    return codes
+
+
+def static_step_arrays(speed: np.ndarray, mode: np.ndarray) -> None:
+    """Array form of :meth:`StaticPlacement.step`."""
+    speed[:] = 0.0
+    mode[:] = 0
+
+
+def gauss_markov_step_arrays(
+    x: np.ndarray,
+    y: np.ndarray,
+    speed: np.ndarray,
+    heading: np.ndarray,
+    mode: np.ndarray,
+    normals: np.ndarray,
+    *,
+    dt: float,
+    width: float,
+    height: float,
+    mean_speed: float,
+    alpha: float,
+    speed_std: float,
+    heading_std: float,
+) -> None:
+    """Array form of :meth:`GaussMarkov.step` for ``n`` nodes at once.
+
+    ``normals`` is the tick's pre-drawn ``(n, 2)`` standard-normal chunk
+    (column 0 drives speed, column 1 heading — the per-node draw order
+    of the scalar step).
+    """
+    if dt < 0:
+        raise ValueError("dt must be non-negative")
+    a = alpha
+    root = np.sqrt(max(1.0 - a * a, 0.0))
+    speed[:] = np.maximum(
+        a * speed + (1 - a) * mean_speed + root * speed_std * normals[:, 0],
+        0.0,
+    )
+    # mean heading == current heading, spelled like the scalar step so
+    # the float association order (and hence every bit) matches.
+    heading[:] = (
+        a * heading + (1 - a) * heading + root * heading_std * normals[:, 1]
+    )
+    x += speed * dt * np.cos(heading)
+    y += speed * dt * np.sin(heading)
+    flip_x = (x < 0) | (x > width)
+    heading[flip_x] = np.pi - heading[flip_x]
+    flip_y = (y < 0) | (y > height)
+    heading[flip_y] = -heading[flip_y]
+    np.clip(x, 0.0, width - 1e-9, out=x)
+    np.clip(y, 0.0, height - 1e-9, out=y)
+    mode[:] = mode_codes_from_speed(speed)
+
+
+def random_waypoint_new_legs(
+    idx: np.ndarray,
+    uniforms: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    heading: np.ndarray,
+    leg_speed: np.ndarray,
+    target_x: np.ndarray,
+    target_y: np.ndarray,
+    pause_next: np.ndarray,
+    *,
+    width: float,
+    height: float,
+    speed_range: tuple[float, float],
+    pause_range: tuple[float, float],
+) -> None:
+    """Array form of :meth:`RandomWaypoint._new_leg` for nodes ``idx``.
+
+    ``uniforms`` is the ``(len(idx), 4)`` uniform chunk for those nodes
+    in ascending-index order; columns map to the scalar draw order
+    (target x, target y, speed, pause).  ``Generator.uniform(lo, hi)``
+    is bit-equal to ``lo + (hi - lo) * Generator.random()``, so scaling
+    a raw chunk reproduces the scalar stream exactly.
+    """
+    lo, hi = speed_range
+    plo, phi = pause_range
+    tx = 0.0 + (width - 0.0) * uniforms[:, 0]
+    ty = 0.0 + (height - 0.0) * uniforms[:, 1]
+    spd = lo + (hi - lo) * uniforms[:, 2]
+    target_x[idx] = tx
+    target_y[idx] = ty
+    pause_next[idx] = plo + (phi - plo) * uniforms[:, 3]
+    leg_speed[idx] = spd
+    heading[idx] = np.arctan2(ty - y[idx], tx - x[idx])
+
+
+def random_waypoint_step_arrays(
+    rng: np.random.Generator,
+    x: np.ndarray,
+    y: np.ndarray,
+    speed: np.ndarray,
+    heading: np.ndarray,
+    mode: np.ndarray,
+    leg_speed: np.ndarray,
+    target_x: np.ndarray,
+    target_y: np.ndarray,
+    pause_next: np.ndarray,
+    pause_left: np.ndarray,
+    *,
+    dt: float,
+    width: float,
+    height: float,
+    speed_range: tuple[float, float],
+    pause_range: tuple[float, float],
+) -> None:
+    """Array form of :meth:`RandomWaypoint.step` for ``n`` nodes at once.
+
+    Legs must be initialised up front (:func:`random_waypoint_new_legs`
+    over all nodes), so the only draws during a tick are the new legs of
+    nodes that arrive this tick — consumed as one ``(k, 4)`` chunk in
+    ascending node order, matching a scalar loop over the same nodes.
+    """
+    if dt < 0:
+        raise ValueError("dt must be non-negative")
+    paused = pause_left > 0
+    if paused.any():
+        pidx = np.flatnonzero(paused)
+        pause_left[pidx] = np.maximum(pause_left[pidx] - dt, 0.0)
+        speed[pidx] = 0.0
+        mode[pidx] = 0
+    moving = np.flatnonzero(~paused)
+    if moving.size == 0:
+        return
+    speed[moving] = leg_speed[moving]
+    xm = x[moving]
+    ym = y[moving]
+    remaining = np.hypot(target_x[moving] - xm, target_y[moving] - ym)
+    travel = speed[moving] * dt
+    arrived_mask = travel >= remaining
+    arrived = moving[arrived_mask]
+    cruising = moving[~arrived_mask]
+    if arrived.size:
+        x[arrived] = target_x[arrived]
+        y[arrived] = target_y[arrived]
+        pause_left[arrived] = pause_next[arrived]
+        draws = rng.random((arrived.size, 4))
+        random_waypoint_new_legs(
+            arrived,
+            draws,
+            x,
+            y,
+            heading,
+            leg_speed,
+            target_x,
+            target_y,
+            pause_next,
+            width=width,
+            height=height,
+            speed_range=speed_range,
+            pause_range=pause_range,
+        )
+        speed[arrived] = leg_speed[arrived]
+    if cruising.size:
+        step_len = travel[~arrived_mask]
+        x[cruising] += step_len * np.cos(heading[cruising])
+        y[cruising] += step_len * np.sin(heading[cruising])
+    x[moving] = np.clip(x[moving], 0.0, width - 1e-9)
+    y[moving] = np.clip(y[moving], 0.0, height - 1e-9)
+    mode[moving] = mode_codes_from_speed(speed[moving])

@@ -17,6 +17,8 @@ __all__ = [
     "QualityTier",
     "STANDARD_TIERS",
     "draw_tiers",
+    "tier_noise_multipliers",
+    "batched_readings",
     "covariance_from_stds",
     "covariance_for_tiers",
     "heterogeneity_ratio",
@@ -63,6 +65,53 @@ def draw_tiers(
     gen = np.random.default_rng(rng)
     picks = gen.choice(len(tiers), size=count, p=shares / total)
     return [tiers[i] for i in picks]
+
+
+def tier_noise_multipliers(
+    count: int,
+    tiers: tuple[QualityTier, ...] = STANDARD_TIERS,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Array form of :func:`draw_tiers`: per-node noise multipliers.
+
+    Consumes the stream identically to :func:`draw_tiers` (one
+    ``choice`` call), so a population seeded the same way gets the same
+    tier mix whether it stores tier objects or a multiplier array.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not tiers:
+        raise ValueError("need at least one tier")
+    shares = np.array([t.population_share for t in tiers], dtype=float)
+    total = shares.sum()
+    if total <= 0:
+        raise ValueError("tier population shares must sum to a positive value")
+    gen = np.random.default_rng(rng)
+    picks = gen.choice(len(tiers), size=count, p=shares / total)
+    multipliers = np.array([t.noise_multiplier for t in tiers], dtype=float)
+    return multipliers[picks]
+
+
+def batched_readings(
+    truth: np.ndarray,
+    noise_stds: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One noisy reading per node: ``truth + std * z`` as a single chunk.
+
+    ``Generator.standard_normal(n)`` consumes the stream exactly like
+    ``n`` successive scalar draws, so this is bit-identical to a
+    per-node loop computing ``truth[i] + noise_stds[i] * rng.standard_normal()``
+    in ascending order — the equivalence the struct-of-arrays sensing
+    path is pinned against.
+    """
+    truth = np.asarray(truth, dtype=float)
+    noise_stds = np.asarray(noise_stds, dtype=float)
+    if truth.shape != noise_stds.shape:
+        raise ValueError(
+            f"truth shape {truth.shape} != noise_stds shape {noise_stds.shape}"
+        )
+    return truth + noise_stds * rng.standard_normal(truth.shape[0])
 
 
 def covariance_from_stds(noise_stds: np.ndarray) -> np.ndarray:

@@ -1,7 +1,10 @@
-"""Simulation substrate: event clock, engine, and scenario builders."""
+"""Simulation substrate: event clock, engine, scenarios, and the
+city-scale struct-of-arrays population core."""
 
 from .clock import Event, SimClock
 from .engine import RoundRecord, SimulationEngine, SimulationResult
+from .mega import MegaConfig, MegaRoundRecord, MegaSimulation
+from .population import NodePopulation, PopulationConfig
 from .scenario import (
     Scenario,
     earthquake_scenario,
@@ -16,6 +19,11 @@ __all__ = [
     "RoundRecord",
     "SimulationEngine",
     "SimulationResult",
+    "MegaConfig",
+    "MegaRoundRecord",
+    "MegaSimulation",
+    "NodePopulation",
+    "PopulationConfig",
     "Scenario",
     "earthquake_scenario",
     "fire_scenario",

@@ -506,6 +506,106 @@ class TestRPR008RawInbox:
         assert _rules(findings, suppressed=True) == ["RPR008"]
 
 
+class TestRPR009WorkerRng:
+    def test_default_rng_in_worker_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def _solve_zone_worker(payload, seed):
+                rng = np.random.default_rng(seed)
+                return rng.standard_normal(4)
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR009"]
+
+    def test_seed_sequence_in_worker_init_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def shard_worker_init(seed, index):
+                child = np.random.SeedSequence(seed).spawn(8)[index]
+                return np.random.Generator(np.random.PCG64(child))
+            """
+        )
+        # SeedSequence, Generator and PCG64 construction each fire.
+        assert _rules(findings, suppressed=False) == [
+            "RPR009",
+            "RPR009",
+            "RPR009",
+        ]
+
+    def test_stdlib_random_in_worker_fires(self):
+        findings = _lint(
+            """
+            import random
+
+            def worker_main(seed):
+                return random.Random(seed)
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR009"]
+
+    def test_nested_helper_inside_worker_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def run_worker(seed):
+                def draw():
+                    return np.random.default_rng(seed).random()
+                return draw()
+            """
+        )
+        assert _rules(findings, suppressed=False) == ["RPR009"]
+
+    def test_pragma_suppresses(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def _bench_worker(seed):
+                return np.random.default_rng(seed)  # reprolint: allow[worker-rng]
+            """
+        )
+        assert _rules(findings, suppressed=True) == ["RPR009"]
+
+    def test_non_worker_function_negative(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def build_population(seed):
+                return np.random.default_rng(seed)
+
+            def spawn_shard_seeds(root, count):
+                return np.random.SeedSequence(root).spawn(count)
+            """
+        )
+        assert findings == []
+
+    def test_worker_without_rng_negative(self):
+        findings = _lint(
+            """
+            def _solve_zone_worker(payload, basis):
+                cells, values = payload
+                return basis[cells, :] @ values
+            """
+        )
+        assert findings == []
+
+    def test_shipped_tree_has_zero_worker_rng_findings(self):
+        import repro
+        from pathlib import Path
+
+        pkg_root = Path(repro.__file__).parent
+        findings, scanned = lint_paths([pkg_root], select=["RPR009"])
+        assert scanned > 50
+        active = [f for f in findings if not f.suppressed]
+        assert active == [], "\n".join(f.render() for f in active)
+
+
 class TestSuppressionMechanics:
     def test_star_pragma_suppresses_everything(self):
         findings = _lint(
@@ -619,4 +719,5 @@ class TestTreeIsClean:
             "RPR006",
             "RPR007",
             "RPR008",
+            "RPR009",
         }

@@ -1,0 +1,236 @@
+"""Shared-memory segment lifecycle and the cross-process checksum.
+
+Covers the ownership rules in :mod:`repro.core.shardmem`'s docstring:
+the exporting parent is the only unlinker, workers only close, a
+crashed worker never leaks ``/dev/shm``, and the sanitizer's checksum
+invariant survives a multiprocess fan-out.  Also pins the
+:func:`repro.core.registry.spawn_shard_seeds` / ``shard_rng`` stream
+hygiene that reprolint rule RPR009 exists to enforce.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.core.registry import shard_rng, spawn_shard_seeds
+from repro.core.shardmem import (
+    attach_shared_array,
+    attached_segment_names,
+    close_attachments,
+    export_shared_array,
+    exported_segment_names,
+    release_shared_arrays,
+    verify_spec,
+)
+
+
+def _shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture
+def payload():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(16, 16))
+
+
+# -- worker entry points (module-level so fork workers can unpickle) ----
+
+
+def _worker_row_sum(args):
+    spec, row = args
+    view = attach_shared_array(spec)
+    return float(view[row].sum())
+
+
+def _worker_die(_):
+    os._exit(1)
+
+
+def _worker_verify(spec):
+    attach_shared_array(spec)
+    verify_spec(spec, context="worker-side verify")
+    return True
+
+
+class TestExportAttach:
+    def test_roundtrip_and_read_only(self, payload):
+        spec = export_shared_array("roundtrip", payload)
+        try:
+            assert spec.shape == (16, 16)
+            assert spec.nbytes == payload.nbytes
+            assert _shm_exists(spec.name)
+            view = attach_shared_array(spec)
+            assert np.array_equal(view, payload)
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+            # Attachments are cached per segment name.
+            assert attach_shared_array(spec) is view
+            assert spec.name in attached_segment_names()
+        finally:
+            close_attachments()
+            release_shared_arrays([spec.name])
+
+    def test_same_tag_exports_distinct_segments(self, payload):
+        a = export_shared_array("dup", payload)
+        b = export_shared_array("dup", payload)
+        try:
+            assert a.name != b.name
+            assert a.sha1 == b.sha1  # same bytes, same digest
+        finally:
+            release_shared_arrays([a.name, b.name])
+
+    def test_attach_rejects_tampered_segment_under_sanitizer(self, payload):
+        spec = export_shared_array("tamper-attach", payload)
+        was_enabled = contracts.enabled()
+        handle = shared_memory.SharedMemory(name=spec.name)
+        try:
+            handle.buf[0] ^= 0xFF
+            contracts.enable()
+            with pytest.raises(contracts.ContractViolation):
+                attach_shared_array(spec)
+        finally:
+            contracts.enable(was_enabled)
+            handle.close()
+            release_shared_arrays([spec.name])
+
+
+class TestVerifySpec:
+    def test_verify_passes_then_catches_mutation(self, payload):
+        spec = export_shared_array("tamper-verify", payload)
+        handle = shared_memory.SharedMemory(name=spec.name)
+        try:
+            verify_spec(spec)  # clean bytes: no complaint
+            handle.buf[-1] ^= 0x01
+            with pytest.raises(contracts.ContractViolation):
+                verify_spec(spec, context="after tamper")
+        finally:
+            handle.close()
+            release_shared_arrays([spec.name])
+
+    def test_verify_unmapped_segment_raises(self, payload):
+        spec = export_shared_array("gone", payload)
+        release_shared_arrays([spec.name])
+        with pytest.raises(KeyError):
+            verify_spec(spec)
+
+
+class TestRelease:
+    def test_release_unlinks_and_is_idempotent(self, payload):
+        spec = export_shared_array("release", payload)
+        assert _shm_exists(spec.name)
+        assert release_shared_arrays([spec.name]) == 1
+        assert not _shm_exists(spec.name)
+        assert spec.name not in exported_segment_names()
+        assert release_shared_arrays([spec.name]) == 0
+
+    def test_selective_release_spares_other_segments(self, payload):
+        a = export_shared_array("keep", payload)
+        b = export_shared_array("drop", payload)
+        try:
+            assert release_shared_arrays([b.name]) == 1
+            assert _shm_exists(a.name)
+            assert not _shm_exists(b.name)
+        finally:
+            release_shared_arrays([a.name])
+
+
+class TestMultiprocess:
+    def test_fanout_then_parent_verify(self, payload):
+        spec = export_shared_array("fanout", payload)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=2, mp_context=get_context("fork")
+            ) as pool:
+                sums = list(
+                    pool.map(_worker_row_sum, [(spec, r) for r in range(16)])
+                )
+            assert np.allclose(sums, payload.sum(axis=1))
+            # Workers attached and read; nothing may have mutated the
+            # segment — the cross-process checksum invariant.
+            verify_spec(spec, context="after fan-out")
+        finally:
+            release_shared_arrays([spec.name])
+        assert not _shm_exists(spec.name)
+
+    def test_worker_side_verify_spec(self, payload):
+        spec = export_shared_array("worker-verify", payload)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=1, mp_context=get_context("fork")
+            ) as pool:
+                assert pool.submit(_worker_verify, spec).result()
+        finally:
+            release_shared_arrays([spec.name])
+
+    def test_worker_crash_does_not_leak_segments(self, payload):
+        spec = export_shared_array("crashy", payload)
+        try:
+            with pytest.raises(BrokenProcessPool):
+                with ProcessPoolExecutor(
+                    max_workers=1, mp_context=get_context("fork")
+                ) as pool:
+                    pool.submit(_worker_die, spec).result()
+        finally:
+            # The parent owns the segment and survives the worker: the
+            # unlink must still succeed and /dev/shm must come up clean.
+            assert release_shared_arrays([spec.name]) == 1
+        assert not _shm_exists(spec.name)
+
+    def test_guarded_attachment_feeds_verify_shared_arrays(self, payload):
+        was_enabled = contracts.enabled()
+        contracts.enable()
+        spec = export_shared_array("guarded", payload)
+        try:
+            view = attach_shared_array(spec)
+            assert np.array_equal(view, payload)
+            # attach registered the view with the in-process guard
+            # table, so the generic sweep re-checksums it too.
+            contracts.verify_shared_arrays(context="shardmem test")
+        finally:
+            contracts.enable(was_enabled)
+            contracts.reset_guards()
+            close_attachments()
+            release_shared_arrays([spec.name])
+
+
+class TestShardSeedHelpers:
+    def test_spawn_shard_seeds_deterministic_and_distinct(self):
+        a = spawn_shard_seeds(1234, 8)
+        b = spawn_shard_seeds(1234, 8)
+        assert len(a) == len(b) == 8
+        for seq_a, seq_b in zip(a, b):
+            assert np.array_equal(
+                seq_a.generate_state(4), seq_b.generate_state(4)
+            )
+        states = {tuple(seq.generate_state(4)) for seq in a}
+        assert len(states) == 8  # streams do not collide
+
+    def test_spawn_accepts_seed_sequence_root(self):
+        root = np.random.SeedSequence(77)
+        a = spawn_shard_seeds(root, 3)
+        b = np.random.SeedSequence(77).spawn(3)
+        for seq_a, seq_b in zip(a, b):
+            assert np.array_equal(
+                seq_a.generate_state(4), seq_b.generate_state(4)
+            )
+
+    def test_shard_rng_matches_spawned_stream(self):
+        direct = np.random.default_rng(spawn_shard_seeds(5, 4)[2])
+        shard = shard_rng(5, 2, 4)
+        assert np.array_equal(
+            direct.standard_normal(16), shard.standard_normal(16)
+        )
+
+    def test_shard_rng_validates_index(self):
+        with pytest.raises(ValueError):
+            shard_rng(5, 4, 4)
+        with pytest.raises(ValueError):
+            shard_rng(5, -1, 4)
+        with pytest.raises(ValueError):
+            spawn_shard_seeds(5, -1)

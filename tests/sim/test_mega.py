@@ -1,0 +1,219 @@
+"""City-scale rounds: sharded == serial, stale-serve, overload, trust.
+
+The load-bearing pin is :class:`TestSerialShardedIdentity`: the
+multiprocess fan-out must produce byte-for-byte the same estimates and
+trust state as the in-process solve, because collect (all RNG) stays
+serial, the solve kernel is pure, and the workers attach the exact
+basis bytes the parent exported.  The remaining tests exercise the
+overload (PR 6) and Byzantine (PR 4) layers on top of the array core.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import contracts
+from repro.core.shardmem import exported_segment_names
+from repro.sensors.faults import SensorFaultInjector, StuckAt
+from repro.sim.mega import MegaConfig, MegaSimulation
+from repro.sim.population import PopulationConfig
+
+
+def _pop(seed: int, **overrides) -> PopulationConfig:
+    base = dict(
+        n_nodes=200,
+        width=16,
+        height=16,
+        zones_x=2,
+        zones_y=2,
+        mobility="gauss_markov",
+        seed=seed,
+    )
+    base.update(overrides)
+    return PopulationConfig(**base)
+
+
+class TestSerialShardedIdentity:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_sharded_rounds_bit_identical(self, seed):
+        pop = _pop(seed)
+        serial = MegaSimulation(
+            MegaConfig(population=pop, reports_per_zone=48, sparsity=8)
+        )
+        with MegaSimulation(
+            MegaConfig(
+                population=pop,
+                reports_per_zone=48,
+                sparsity=8,
+                sharded=True,
+                workers=2,
+            )
+        ) as sharded:
+            for _ in range(3):
+                a = serial.run_round()
+                b = sharded.run_round()
+                assert np.array_equal(serial.estimate, sharded.estimate)
+                assert np.array_equal(
+                    serial.population.trust, sharded.population.trust
+                )
+                assert np.array_equal(
+                    serial.population.quarantined,
+                    sharded.population.quarantined,
+                )
+                assert a == b
+
+    def test_worker_count_does_not_change_results(self):
+        pop = _pop(77)
+        estimates = []
+        for workers in (1, 3):
+            with MegaSimulation(
+                MegaConfig(
+                    population=pop,
+                    reports_per_zone=48,
+                    sparsity=8,
+                    sharded=True,
+                    workers=workers,
+                )
+            ) as sim:
+                for _ in range(2):
+                    sim.run_round()
+                estimates.append(sim.estimate.copy())
+        assert np.array_equal(estimates[0], estimates[1])
+
+
+class TestRoundMechanics:
+    def test_rounds_recover_sparse_truth(self):
+        sim = MegaSimulation(
+            MegaConfig(
+                population=_pop(5), reports_per_zone=64, sparsity=8
+            )
+        )
+        record = sim.run_round()
+        assert record.zones_solved == 4
+        assert record.zones_stale == 0
+        expected = sum(
+            min(64, sim.population.zone_members(z).size) for z in range(4)
+        )
+        assert record.reports_delivered == expected
+        # 64 noisy reports per 64-cell zone and K=4 truth: the
+        # compressive solve should land well under the noise floor.
+        assert record.rmse < 1.0
+
+    def test_lost_zone_is_served_stale(self):
+        sim = MegaSimulation(
+            MegaConfig(
+                population=_pop(8), reports_per_zone=48, sparsity=8
+            )
+        )
+        first = sim.run_round()
+        assert first.zones_solved == 4
+        snapshot = sim.estimate.copy()
+        sim.bus.loss_rate = 1.0  # kill the uplink for one round
+        second = sim.run_round()
+        assert second.zones_solved == 0
+        assert second.zones_stale == 4
+        assert np.array_equal(sim.estimate, snapshot)
+        sim.bus.loss_rate = 0.0
+        third = sim.run_round()
+        assert third.zones_solved == 4 and third.zones_stale == 0
+
+    def test_backpressure_sheds_zone_frames(self):
+        sim = MegaSimulation(
+            MegaConfig(
+                population=_pop(9),
+                reports_per_zone=32,
+                sparsity=8,
+                inbox_capacity=1,
+                drop_policy="drop-newest",
+            )
+        )
+        record = sim.run_round()
+        assert record.zones_solved == 1
+        assert sim._cloud.dropped_backpressure == 3
+
+    def test_stuck_sensors_get_rejected_then_quarantined(self):
+        injector = SensorFaultInjector()
+        bad = list(range(12))
+        for index in bad:
+            injector.attach(f"meganode-{index}", StuckAt(1e6))
+        sim = MegaSimulation(
+            MegaConfig(
+                population=_pop(13),
+                reports_per_zone=200,  # every member reports every round
+                sparsity=8,
+            ),
+            sensor_fault_injector=injector,
+        )
+        records = [sim.run_round() for _ in range(6)]
+        assert records[0].reports_rejected >= len(bad)
+        assert records[-1].quarantined_nodes == len(bad)
+        assert sim.population.quarantined[bad].all()
+        assert not sim.population.quarantined[len(bad) :].any()
+        # Quarantined reporters stop being sampled, so late rounds solve
+        # from honest nodes only and the field estimate stays sane.
+        assert records[-1].rmse < 1.0
+
+    def test_trust_updates_can_be_disabled(self):
+        injector = SensorFaultInjector()
+        injector.attach("meganode-0", StuckAt(1e6))
+        sim = MegaSimulation(
+            MegaConfig(
+                population=_pop(13),
+                reports_per_zone=200,
+                sparsity=8,
+                trust_updates=False,
+            ),
+            sensor_fault_injector=injector,
+        )
+        for _ in range(4):
+            record = sim.run_round()
+        assert record.quarantined_nodes == 0
+        assert (sim.population.trust == 1.0).all()
+
+
+class TestShardedSanitizer:
+    def test_fanout_passes_checksum_verification(self):
+        was_enabled = contracts.enabled()
+        contracts.enable()
+        try:
+            with MegaSimulation(
+                MegaConfig(
+                    population=_pop(3),
+                    reports_per_zone=32,
+                    sparsity=8,
+                    sharded=True,
+                    workers=2,
+                )
+            ) as sim:
+                record = sim.run_round()
+                assert record.zones_solved == 4
+        finally:
+            contracts.enable(was_enabled)
+
+    def test_shutdown_unlinks_basis_segment(self):
+        sim = MegaSimulation(
+            MegaConfig(
+                population=_pop(4),
+                reports_per_zone=32,
+                sparsity=8,
+                sharded=True,
+                workers=2,
+            )
+        )
+        spec = sim._basis_spec
+        assert spec is not None
+        assert spec.name in exported_segment_names()
+        sim.run_round()
+        sim.shutdown()
+        assert spec.name not in exported_segment_names()
+        sim.shutdown()  # idempotent
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MegaConfig(population=_pop(1), reports_per_zone=0)
+        with pytest.raises(ValueError):
+            MegaConfig(population=_pop(1), sparsity=0)
+        with pytest.raises(ValueError):
+            MegaConfig(population=_pop(1), sharded=True, workers=0)
