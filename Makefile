@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload bench-mega report examples clean
+.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload bench-mega bench-ingest gateway report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -72,6 +72,17 @@ bench-overload:
 bench-mega:
 	REPRO_MEGA_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_mega_scale.py --benchmark-disable -s
+
+# Smoke-mode ingestion-gateway bench: small WebSocket fleets, no rate
+# assertions.  Unset REPRO_INGEST_SMOKE for the full >=1k-client
+# INGEST series committed in BENCH_INGEST.json.
+bench-ingest:
+	REPRO_INGEST_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_ingest_gateway.py --benchmark-disable -s
+
+# Serve a live ingestion gateway on localhost:8765 (Ctrl-C to stop).
+gateway:
+	PYTHONPATH=src $(PYTHON) -m repro.gateway --port 8765
 
 report: bench
 	$(PYTHON) -m repro.reporting benchmarks/results REPORT.md

@@ -19,7 +19,11 @@ RPR002 wall-clock
     ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` /
     ``datetime.now`` and friends.  Simulation logic must read the
     :class:`repro.sim.clock.SimClock`; the few legitimate perf-timing
-    sites carry a ``# reprolint: allow[wall-clock]`` pragma.
+    sites carry a ``# reprolint: allow[wall-clock]`` pragma.  The
+    *sanctioned realtime modules* (``repro/sim/wallclock.py``,
+    ``repro/network/asyncio_transport.py`` and ``repro/gateway/``) are
+    allowlisted wholesale: there the wall clock *is* the simulation
+    clock, by design — see ``docs/invariants.md``.
 RPR003 solve-purity
     Writes to ``self.*`` (or ``global`` declarations) inside functions
     dispatched on the parallel-reconstruction thread pool — the
@@ -38,10 +42,11 @@ RPR005 float-eq
 RPR006 mutable-default
     Mutable default arguments, and unseeded ``np.random.default_rng()``
     (no argument) in library code — both silently break replayability.
-RPR007 deprecated-latency-s
-    Access to the deprecated ``TrafficStats.latency_s`` alias (matched
-    as ``*.stats.latency_s`` / ``stats.latency_s`` chains); internal
-    code must read ``latency_sum_s`` or ``mean_latency_s``.
+RPR007 (retired)
+    Gated the deprecated ``TrafficStats.latency_s`` alias until every
+    internal caller was migrated; the alias itself was removed in PR 8,
+    so the rule retired with it.  The id stays reserved — it is never
+    reused for a different check.
 RPR008 raw-inbox
     Direct mutation of an ``Endpoint.inbox`` deque — ``*.inbox.append``
     and friends, ``x.inbox = ...`` rebinds, ``del x.inbox[i]`` —
@@ -125,11 +130,9 @@ RULES: dict[str, tuple[str, str]] = {
         "mutable default argument or unseeded np.random.default_rng() "
         "in library code",
     ),
-    "RPR007": (
-        "deprecated-latency-s",
-        "deprecated TrafficStats.latency_s alias; read latency_sum_s or "
-        "mean_latency_s",
-    ),
+    # RPR007 "deprecated-latency-s" is retired: it gated the
+    # TrafficStats.latency_s alias to zero internal callers, and the
+    # alias was removed in PR 8.  The id stays reserved.
     "RPR008": (
         "raw-inbox",
         "direct Endpoint.inbox mutation outside repro.network.bus; "
@@ -168,6 +171,29 @@ _NP_RANDOM_ALLOWED = frozenset(
     }
 )
 _PY_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+# RPR002: the sanctioned realtime modules — the socket-facing layer,
+# where the wall clock IS the simulation clock by design (a WallClock
+# is defined in terms of the event loop's time, and the gateway serves
+# live devices).  Everything else must read whichever clock it was
+# handed.  Kept deliberately short; additions belong in
+# docs/invariants.md too.
+_REALTIME_ALLOWED_SUFFIXES = (
+    "repro/sim/wallclock.py",
+    "repro/network/asyncio_transport.py",
+)
+_REALTIME_ALLOWED_DIRS = ("repro/gateway/",)
+
+
+def _is_realtime_module(path: str) -> bool:
+    """True when ``path`` is on the RPR002 realtime-module allowlist."""
+    posix = Path(path).as_posix()
+    if posix.endswith(_REALTIME_ALLOWED_SUFFIXES):
+        return True
+    return any(
+        directory in posix for directory in _REALTIME_ALLOWED_DIRS
+    )
+
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -285,6 +311,7 @@ class _Checker(ast.NodeVisitor):
     def __init__(self, path: str, select: frozenset[str] | None) -> None:
         self.path = path
         self.basename = Path(path).name
+        self.realtime_allowed = _is_realtime_module(path)
         self.select = select
         self.findings: list[Finding] = []
         # local name -> dotted module path it is bound to, e.g.
@@ -576,6 +603,8 @@ class _Checker(ast.NodeVisitor):
             )
 
     def _check_wall_clock_call(self, node: ast.Call, resolved: str) -> None:
+        if self.realtime_allowed:
+            return
         if resolved in _WALL_CLOCK_CALLS:
             self._emit(
                 "RPR002",
@@ -637,22 +666,9 @@ class _Checker(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
-    # -- RPR007: deprecated TrafficStats.latency_s ---------------------
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        if node.attr == "latency_s":
-            value = node.value
-            is_stats = (
-                isinstance(value, ast.Name) and value.id == "stats"
-            ) or (isinstance(value, ast.Attribute) and value.attr == "stats")
-            if is_stats:
-                self._emit(
-                    "RPR007",
-                    node,
-                    "TrafficStats.latency_s is a deprecated alias (it was "
-                    "always a sum); read latency_sum_s or mean_latency_s",
-                )
-        self.generic_visit(node)
+    # -- RPR007: retired -----------------------------------------------
+    # The ``*.stats.latency_s`` matcher lived here until the deprecated
+    # alias it gated was removed from TrafficStats (PR 8).
 
 
 def _normalise_select(select: Iterable[str] | None) -> frozenset[str] | None:

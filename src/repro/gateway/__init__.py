@@ -1,0 +1,27 @@
+"""Real-traffic ingestion gateway: live devices behind the middleware.
+
+The gateway is the socket face of the stack: a hand-rolled asyncio
+WebSocket/HTTP server (:mod:`repro.gateway.server`) accepts per-stream
+device connections on ``/sensor/connect``, turns their JSON frames into
+bus traffic for a live NanoCloud riding an
+:class:`repro.network.asyncio_transport.AsyncioTransport`, and drives
+real sensing rounds with an *unmodified*
+:class:`repro.middleware.rounds.ZoneRoundDriver` on a
+:class:`repro.sim.wallclock.WallClock`.  A query frontend serves the
+latest zone estimates (``/zones/latest``) and the transport's traffic
+accounting (``/stats``).  :mod:`repro.gateway.loadgen` replays seeded
+sensor traces from thousands of concurrent WebSocket clients against it
+— the INGEST bench's traffic source.
+"""
+
+from .loadgen import LoadGenerator, LoadReport
+from .server import GatewayConfig, IngestionGateway
+from .streams import GatewayNode
+
+__all__ = [
+    "GatewayConfig",
+    "IngestionGateway",
+    "GatewayNode",
+    "LoadGenerator",
+    "LoadReport",
+]

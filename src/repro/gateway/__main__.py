@@ -1,0 +1,59 @@
+"""CLI: ``python -m repro.gateway`` serves a live ingestion gateway.
+
+Connect devices with any WebSocket client::
+
+    ws://127.0.0.1:8765/sensor/connect?type=temperature&x=3&y=4
+
+and query the zone with plain HTTP::
+
+    curl http://127.0.0.1:8765/zones/latest
+    curl http://127.0.0.1:8765/stats
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .server import GatewayConfig, IngestionGateway
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="Serve the SenseDroid ingestion gateway.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--zone-width", type=int, default=8)
+    parser.add_argument("--zone-height", type=int, default=8)
+    parser.add_argument("--sensor", default="temperature")
+    parser.add_argument(
+        "--period", type=float, default=0.5,
+        help="sensing round period in seconds",
+    )
+    parser.add_argument(
+        "--infrastructure-every", type=int, default=0,
+        help="install a fixed sensor every N cells (0 = none)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    gateway = IngestionGateway(
+        GatewayConfig(
+            zone_width=args.zone_width,
+            zone_height=args.zone_height,
+            sensor_name=args.sensor,
+            period_s=args.period,
+            infrastructure_every=args.infrastructure_every,
+            seed=args.seed,
+        )
+    )
+    print(
+        f"gateway: ws://{args.host}:{args.port}/sensor/connect  "
+        f"http://{args.host}:{args.port}/zones/latest"
+    )
+    gateway.run_forever(args.host, args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,229 @@
+"""Seeded WebSocket load generator: thousands of concurrent devices.
+
+Replays mobility+sensor traces against a running
+:class:`repro.gateway.server.IngestionGateway`: each client connects to
+``/sensor/connect``, parks on a deterministic cell, and pushes readings
+sampled from the ground-truth field plus seeded Gaussian noise at its
+configured rate.  Clients are plain asyncio coroutines speaking the
+masked client frames of :mod:`repro.gateway.protocol`, so the gateway
+sees byte-exact real WebSocket traffic; every random draw (mask keys,
+noise, phase jitter) comes from per-client ``random.Random(seed)``
+streams, so a run replays exactly.
+
+This module is on reprolint RPR002's sanctioned realtime-module
+allowlist (see ``docs/invariants.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import protocol
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    clients: int
+    connected: int
+    failures: int
+    frames_sent: int
+    commands_seen: int
+    duration_s: float
+
+    @property
+    def frames_per_s(self) -> float:
+        return self.frames_sent / self.duration_s if self.duration_s else 0.0
+
+
+class LoadGenerator:
+    """Drives ``n_clients`` concurrent device streams at one gateway.
+
+    Parameters
+    ----------
+    host / port:
+        The gateway frontend.
+    n_clients:
+        Concurrent WebSocket devices.
+    rate_hz:
+        Per-client reading rate.
+    truth:
+        Ground-truth grid readings are sampled from; ``None`` fetches it
+        from the gateway's ``/field/truth`` endpoint at run start.
+    noise_std:
+        Measurement noise each client adds to (and claims about) its
+        readings.
+    zone_width / zone_height:
+        Zone geometry used to park clients cell-by-cell so the first
+        ``width*height`` clients cover every cell.
+    seed:
+        Master seed; client ``i`` derives its own independent stream.
+    connect_concurrency:
+        Cap on simultaneous connection attempts (a thundering herd of
+        thousands of TCP dials would spuriously fail).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        n_clients: int,
+        rate_hz: float = 2.0,
+        truth: np.ndarray | None = None,
+        noise_std: float = 0.5,
+        zone_width: int = 8,
+        zone_height: int = 8,
+        seed: int = 0,
+        connect_concurrency: int = 64,
+    ) -> None:
+        if n_clients < 1:
+            raise ValueError("n_clients must be positive")
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        self.host = host
+        self.port = port
+        self.n_clients = n_clients
+        self.rate_hz = rate_hz
+        self.truth = truth
+        self.noise_std = noise_std
+        self.zone_width = zone_width
+        self.zone_height = zone_height
+        self.seed = seed
+        self._gate = asyncio.Semaphore(connect_concurrency)
+
+    async def run(self, duration_s: float) -> LoadReport:
+        """Run every client for ``duration_s``; returns the aggregate."""
+        truth = self.truth
+        if truth is None:
+            truth = await self._fetch_truth()
+        truth = np.asarray(truth, dtype=float)
+        results = await asyncio.gather(
+            *(
+                self._client(idx, truth, duration_s)
+                for idx in range(self.n_clients)
+            ),
+            return_exceptions=True,
+        )
+        frames = commands = connected = failures = 0
+        for result in results:
+            if isinstance(result, BaseException):
+                failures += 1
+                continue
+            connected += 1
+            frames += result[0]
+            commands += result[1]
+        return LoadReport(
+            clients=self.n_clients,
+            connected=connected,
+            failures=failures,
+            frames_sent=frames,
+            commands_seen=commands,
+            duration_s=duration_s,
+        )
+
+    async def _fetch_truth(self) -> np.ndarray:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                f"GET /field/truth HTTP/1.1\r\nHost: {self.host}\r\n\r\n"
+                .encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read()  # Connection: close bounds it
+        finally:
+            writer.close()
+        body = raw.split(b"\r\n\r\n", 1)[1]
+        return np.asarray(json.loads(body)["grid"], dtype=float)
+
+    async def _client(
+        self, idx: int, truth: np.ndarray, duration_s: float
+    ) -> tuple[int, int]:
+        """One device: connect, stream readings, count commands."""
+        rng = random.Random(self.seed * 1_000_003 + idx)
+        cell = idx % (self.zone_width * self.zone_height)
+        x = cell // self.zone_height
+        y = cell % self.zone_height
+        value_true = float(truth[y, x])
+        path = (
+            f"/sensor/connect?x={x}&y={y}&mode=stream&id=load{idx}"
+        )
+        async with self._gate:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+            await protocol.ws_client_handshake(
+                reader, writer, path, rng=rng
+            )
+        commands = 0
+
+        async def drain_inbound() -> None:
+            nonlocal commands
+            while True:
+                message = await protocol.ws_read_message(reader)
+                if message is None:
+                    return
+                opcode, payload = message
+                if opcode == protocol.OP_PING:
+                    writer.write(
+                        protocol.ws_encode(
+                            payload,
+                            opcode=protocol.OP_PONG,
+                            mask=True,
+                            rng=rng,
+                        )
+                    )
+                    continue
+                if opcode == protocol.OP_TEXT:
+                    try:
+                        frame = json.loads(payload)
+                    except json.JSONDecodeError:
+                        continue
+                    if frame.get("type") == "command":
+                        commands += 1
+
+        drainer = asyncio.ensure_future(drain_inbound())
+        frames = 0
+        period = 1.0 / self.rate_hz
+        try:
+            # Phase jitter: desynchronise the fleet so readings arrive
+            # spread over the period instead of in one burst.
+            await asyncio.sleep(rng.uniform(0.0, period))
+            ticks = max(1, int(duration_s * self.rate_hz))
+            for _ in range(ticks):
+                reading = {
+                    "type": "reading",
+                    "value": value_true + rng.gauss(0.0, self.noise_std),
+                    "noise_std": self.noise_std,
+                }
+                writer.write(
+                    protocol.ws_encode(
+                        json.dumps(reading, separators=(",", ":")),
+                        mask=True,
+                        rng=rng,
+                    )
+                )
+                await writer.drain()
+                frames += 1
+                await asyncio.sleep(period)
+        finally:
+            drainer.cancel()
+            try:
+                writer.write(
+                    protocol.ws_encode(
+                        b"", opcode=protocol.OP_CLOSE, mask=True, rng=rng
+                    )
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+        return frames, commands

@@ -1,0 +1,294 @@
+"""Minimal HTTP/1.1 + WebSocket (RFC 6455) framing on asyncio streams.
+
+The container ships no ``websockets``/``aiohttp``, so the gateway
+speaks the protocols itself.  Scope is deliberately small: enough HTTP
+to route a handful of GET endpoints and complete the WebSocket upgrade,
+and the WebSocket frame subset real device streams use — text/binary
+with client masking, ping/pong, close, and (rare) continuation frames.
+Both server and client halves live here so the load generator exercises
+the exact bytes a real device would send.
+
+This module is on reprolint RPR002's sanctioned realtime-module
+allowlist (see ``docs/invariants.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import random
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpRequest",
+    "read_http_request",
+    "http_response",
+    "websocket_accept_key",
+    "ws_handshake_response",
+    "ws_encode",
+    "ws_read_message",
+    "ws_client_handshake",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+]
+
+#: RFC 6455 section 1.3: the fixed GUID concatenated to the client key.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Upper bound on one WebSocket message (device frames are tiny JSON;
+#: anything bigger is a broken or hostile peer).
+MAX_WS_MESSAGE_BYTES = 1 << 20
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 101: "Switching Protocols"}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request head (plus optional body)."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> HttpRequest | None:
+    """Parse one request from the stream; ``None`` on EOF/garbage."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (
+        asyncio.IncompleteReadError,
+        asyncio.LimitOverrunError,
+        ConnectionError,
+    ):
+        return None
+    if len(head) > _MAX_HEADER_BYTES:
+        return None
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            return None
+        if not 0 <= n <= _MAX_HEADER_BYTES:
+            return None
+        try:
+            body = await reader.readexactly(n)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def http_response(
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "application/json",
+) -> bytes:
+    """Serialise one plain (non-upgrade) HTTP response."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = _REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+# -- websocket handshake ---------------------------------------------------
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """Sec-WebSocket-Accept for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1(
+        (client_key + _WS_GUID).encode("latin-1")
+    ).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def ws_handshake_response(client_key: str) -> bytes:
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+async def ws_client_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+    *,
+    host: str = "gateway",
+    rng: random.Random | None = None,
+) -> None:
+    """Send the upgrade request and verify the server's accept key.
+
+    ``rng`` seeds the nonce (and later, frame masks) so load-generator
+    byte streams replay deterministically; ``None`` uses an unseeded
+    generator, which is fine for interactive clients.
+    """
+    rng = rng or random.Random()
+    key = base64.b64encode(rng.randbytes(16)).decode("latin-1")
+    writer.write(
+        (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    if " 101 " not in lines[0] + " ":
+        raise ConnectionError(f"websocket upgrade refused: {lines[0]!r}")
+    accept = ""
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "sec-websocket-accept":
+            accept = value.strip()
+    if accept != websocket_accept_key(key):
+        raise ConnectionError("websocket accept key mismatch")
+
+
+# -- websocket frames ------------------------------------------------------
+
+
+def ws_encode(
+    payload: bytes | str,
+    *,
+    opcode: int = OP_TEXT,
+    mask: bool = False,
+    rng: random.Random | None = None,
+) -> bytes:
+    """Encode one complete (FIN) WebSocket frame.
+
+    Servers send unmasked (``mask=False``); clients MUST mask
+    (``mask=True``) per RFC 6455 section 5.3 — ``rng`` supplies the
+    masking key so client streams stay reproducible under a seed.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    n = len(payload)
+    if n < 126:
+        header.append(mask_bit | n)
+    elif n < 1 << 16:
+        header.append(mask_bit | 126)
+        header += n.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += n.to_bytes(8, "big")
+    if not mask:
+        return bytes(header) + payload
+    key = (rng or random.Random()).randbytes(4)
+    header += key
+    masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + masked
+
+
+async def ws_read_message(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes] | None:
+    """Read one complete message; ``None`` on EOF or a close frame.
+
+    Reassembles continuation fragments and unmasks client frames.
+    Control frames interleaved inside a fragmented message are returned
+    to the caller in arrival order (the caller answers pings).
+    """
+    opcode: int | None = None
+    parts: list[bytes] = []
+    while True:
+        try:
+            b1, b2 = await reader.readexactly(2)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        fin = bool(b1 & 0x80)
+        frame_op = b1 & 0x0F
+        masked = bool(b2 & 0x80)
+        length = b2 & 0x7F
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(await reader.readexactly(8), "big")
+        if length > MAX_WS_MESSAGE_BYTES:
+            return None
+        key = await reader.readexactly(4) if masked else b""
+        try:
+            payload = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        if frame_op == OP_CLOSE:
+            return None
+        if frame_op in (OP_PING, OP_PONG):
+            return (frame_op, payload)  # control frames never fragment
+        if frame_op != OP_CONT:
+            opcode = frame_op
+            parts = [payload]
+        else:
+            if opcode is None:
+                return None  # continuation with nothing to continue
+            parts.append(payload)
+        if fin and opcode is not None:
+            return (opcode, b"".join(parts))

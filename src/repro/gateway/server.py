@@ -1,0 +1,378 @@
+"""The ingestion gateway: live WebSocket devices behind a real NanoCloud.
+
+One :class:`IngestionGateway` owns the whole socket-facing stack:
+
+- an :class:`repro.network.asyncio_transport.AsyncioTransport` (the
+  socket backend of the Transport seam) carrying all middleware traffic,
+- a :class:`repro.sim.wallclock.WallClock` on the same event loop,
+- one zone — broker + (initially empty) NanoCloud wrapped by
+  :meth:`repro.middleware.localcloud.LocalCloud.from_nanoclouds` — whose
+  membership is the set of currently connected devices,
+- an **unmodified** :class:`repro.middleware.rounds.ZoneRoundDriver`
+  running real sensing rounds on the wall clock, and
+- a hand-rolled HTTP/WebSocket server (:mod:`repro.gateway.protocol`):
+
+  - ``GET /sensor/connect?type=...&x=...&y=...&mode=...`` upgrades to a
+    per-device WebSocket stream; JSON frames carry readings/moves down
+    and SENSE_COMMAND notifications up,
+  - ``GET /zones/latest`` serves the newest zone estimate (the query
+    frontend),
+  - ``GET /stats`` serves the transport's ``stats_snapshot()`` plus
+    gateway and round telemetry,
+  - ``GET /field/truth`` serves the synthetic ground-truth grid (load
+    generators sample it), and ``GET /healthz`` answers liveness.
+
+This module is on reprolint RPR002's sanctioned realtime-module
+allowlist (see ``docs/invariants.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fields.generators import smooth_field
+from ..middleware.broker import Broker
+from ..middleware.config import BrokerConfig
+from ..middleware.localcloud import LocalCloud
+from ..middleware.nanocloud import NanoCloud
+from ..middleware.rounds import ZoneRoundDriver, ZoneRoundOutcome
+from ..network.asyncio_transport import AsyncioTransport
+from ..sensors.base import Environment, NodeState
+from ..sensors.physical import TemperatureSensor
+from ..sim.wallclock import WallClock
+from . import protocol
+from .streams import STREAM_MODES, GatewayNode, parse_device_frame
+
+__all__ = ["GatewayConfig", "IngestionGateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Deployment shape and cadence of one ingestion gateway."""
+
+    zone_width: int = 8
+    zone_height: int = 8
+    sensor_name: str = "temperature"
+    period_s: float = 0.5
+    max_staleness_s: float = 5.0
+    #: Fixed sensors installed every N cells (0 = none): the fallback
+    #: that keeps rounds solvable while few devices are connected.
+    infrastructure_every: int = 0
+    field_cutoff: float = 0.3
+    field_amplitude: float = 3.0
+    field_offset: float = 20.0
+    seed: int = 0
+    broker: BrokerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.zone_width < 1 or self.zone_height < 1:
+            raise ValueError("zone dimensions must be positive")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.infrastructure_every < 0:
+            raise ValueError("infrastructure_every must be non-negative")
+
+
+class _DeviceSession:
+    """Book-keeping for one connected WebSocket device."""
+
+    def __init__(
+        self, node: GatewayNode, writer: asyncio.StreamWriter
+    ) -> None:
+        self.node = node
+        self.writer = writer
+        self.frames_in = 0
+
+
+class IngestionGateway:
+    """Assembles transport + clock + zone + driver + socket frontends."""
+
+    def __init__(
+        self,
+        config: GatewayConfig | None = None,
+        *,
+        clock: WallClock | None = None,
+    ) -> None:
+        self.config = cfg = config or GatewayConfig()
+        self.clock = clock if clock is not None else WallClock()
+        self.transport = AsyncioTransport(self.clock)
+        rng = np.random.default_rng(cfg.seed)
+        truth = smooth_field(
+            cfg.zone_width,
+            cfg.zone_height,
+            cutoff=cfg.field_cutoff,
+            amplitude=cfg.field_amplitude,
+            offset=cfg.field_offset,
+            rng=cfg.seed,
+        )
+        self.env = Environment(fields={cfg.sensor_name: truth})
+        broker = Broker(
+            broker_id="gw/nc0/broker",
+            zone_width=cfg.zone_width,
+            zone_height=cfg.zone_height,
+            sensor_name=cfg.sensor_name,
+            config=cfg.broker,
+            rng=int(rng.integers(2**31)),
+        )
+        self.transport.register(broker.broker_id)
+        if cfg.infrastructure_every:
+            n = cfg.zone_width * cfg.zone_height
+            for cell in range(0, n, cfg.infrastructure_every):
+                broker.add_infrastructure(
+                    cell, TemperatureSensor(rng=int(rng.integers(2**31)))
+                )
+        self.nanocloud = NanoCloud(
+            broker=broker, nodes={}, bus=self.transport
+        )
+        self.localcloud = LocalCloud.from_nanoclouds(
+            "gw", self.transport, [self.nanocloud], config=broker.config
+        )
+        self.driver = ZoneRoundDriver(
+            0,
+            self.localcloud,
+            self.env,
+            self.clock,
+            period_s=cfg.period_s,
+            on_complete=self._on_round,
+        )
+        self.latest: ZoneRoundOutcome | None = None
+        self.latencies_s: list[float] = []
+        self.sessions: dict[str, _DeviceSession] = {}
+        self.devices_joined = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Bind the frontend and arm the round schedule."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        self.driver.start()
+        return self._server
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("gateway is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def stop(self) -> None:
+        self.driver.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def run_forever(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        """CLI entry point: serve until interrupted (owns the loop)."""
+        loop = self.clock.loop
+        loop.run_until_complete(self.start(host, port))
+        try:
+            loop.run_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            loop.run_until_complete(self.stop())
+
+    def _on_round(self, outcome: ZoneRoundOutcome) -> None:
+        self.latest = outcome
+        if not outcome.stale:
+            self.latencies_s.append(outcome.latency_s)
+
+    # -- connection routing --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await protocol.read_http_request(reader)
+            if request is None:
+                return
+            if request.path == "/sensor/connect" and request.wants_websocket:
+                await self._serve_device(request, reader, writer)
+                return
+            writer.write(self._route_http(request))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    def _route_http(self, request: protocol.HttpRequest) -> bytes:
+        if request.method != "GET":
+            return protocol.http_response(400, b'{"error":"GET only"}')
+        if request.path == "/healthz":
+            body = {"ok": True, "now": self.clock.now}
+        elif request.path == "/stats":
+            body = self.stats()
+        elif request.path == "/zones/latest":
+            body = self.latest_estimate()
+        elif request.path == "/field/truth":
+            truth = self.env.fields[self.config.sensor_name]
+            body = {
+                "sensor": self.config.sensor_name,
+                "grid": truth.grid.tolist(),
+            }
+        else:
+            return protocol.http_response(404, b'{"error":"not found"}')
+        return protocol.http_response(200, json.dumps(body))
+
+    # -- query frontend ------------------------------------------------
+
+    def latest_estimate(self) -> dict[str, object]:
+        """The newest ZoneEstimate round, JSON-shaped (``/zones/latest``)."""
+        outcome = self.latest
+        if outcome is None:
+            return {"round": None, "rounds_completed": 0}
+        return {
+            "round": outcome.index,
+            "zone_id": outcome.zone_id,
+            "started_at": outcome.started_at,
+            "completed_at": outcome.completed_at,
+            "latency_s": outcome.latency_s,
+            "partial": outcome.partial,
+            "stale": outcome.stale,
+            "rounds_completed": self.driver.rounds_completed,
+            "field": outcome.result.field.grid.tolist(),
+            "estimates": [
+                {
+                    "m": e.m,
+                    "planned_m": e.planned_m,
+                    "reports_ok": e.reports_ok,
+                    "reports_refused": e.reports_refused,
+                    "infra_reads": e.infra_reads,
+                    "degraded": e.degraded,
+                    "staleness_rounds": e.staleness_rounds,
+                }
+                for e in outcome.result.nc_estimates
+            ],
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Transport snapshot + gateway and round telemetry (``/stats``)."""
+        latencies = sorted(self.latencies_s)
+        return {
+            "transport": self.transport.stats_snapshot(),
+            "devices": len(self.sessions),
+            "devices_joined": self.devices_joined,
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "rounds_completed": self.driver.rounds_completed,
+            "rounds_failed": self.driver.rounds_failed,
+            "rounds_skipped": self.driver.rounds_skipped,
+            "round_latency_p50_s": _percentile(latencies, 0.50),
+            "round_latency_p99_s": _percentile(latencies, 0.99),
+        }
+
+    # -- device streams ------------------------------------------------
+
+    def _assign_cell(self, request: protocol.HttpRequest) -> tuple[int, float, float]:
+        """Map the query's position (or a round-robin slot) to a cell."""
+        cfg = self.config
+        n = cfg.zone_width * cfg.zone_height
+        if "x" in request.query and "y" in request.query:
+            x = float(request.query["x"])
+            y = float(request.query["y"])
+        else:
+            slot = self.devices_joined % n
+            x = float(slot // cfg.zone_height)
+            y = float(slot % cfg.zone_height)
+        i = int(np.clip(round(x), 0, cfg.zone_width - 1))
+        j = int(np.clip(round(y), 0, cfg.zone_height - 1))
+        return i * cfg.zone_height + j, x, y
+
+    async def _serve_device(
+        self,
+        request: protocol.HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = request.header("sec-websocket-key")
+        if not key:
+            writer.write(
+                protocol.http_response(400, b'{"error":"missing key"}')
+            )
+            await writer.drain()
+            return
+        sensor = request.query.get("type", self.config.sensor_name)
+        mode = request.query.get("mode", "stream")
+        if mode not in STREAM_MODES:
+            writer.write(
+                protocol.http_response(400, b'{"error":"bad mode"}')
+            )
+            await writer.drain()
+            return
+        writer.write(protocol.ws_handshake_response(key))
+        await writer.drain()
+
+        cell, x, y = self._assign_cell(request)
+        self.devices_joined += 1
+        requested = request.query.get("id", f"dev{self.devices_joined}")
+        node_id = f"gw/nc0/{requested}"
+        if node_id in self.sessions:  # duplicate id: make it unique
+            node_id = f"{node_id}.{self.devices_joined}"
+
+        def send_json(payload: dict) -> None:
+            self.frames_out += 1
+            writer.write(
+                protocol.ws_encode(json.dumps(payload, separators=(",", ":")))
+            )
+
+        node = GatewayNode(
+            node_id,
+            sensor,
+            send_json=send_json,
+            now_fn=lambda: self.clock.now,
+            mode=mode,
+            max_staleness_s=self.config.max_staleness_s,
+            state=NodeState(x=x, y=y),
+        )
+        session = _DeviceSession(node, writer)
+        self.sessions[node_id] = session
+        self.transport.register(node_id)
+        self.nanocloud.nodes[node_id] = node
+        self.nanocloud.broker.join(node_id, cell)
+        send_json({"type": "joined", "node_id": node_id, "cell": cell})
+        try:
+            while True:
+                message = await protocol.ws_read_message(reader)
+                if message is None:
+                    break
+                opcode, payload = message
+                if opcode == protocol.OP_PING:
+                    writer.write(
+                        protocol.ws_encode(payload, opcode=protocol.OP_PONG)
+                    )
+                    continue
+                if opcode == protocol.OP_PONG:
+                    continue
+                frame = parse_device_frame(payload)
+                if frame is None:
+                    continue
+                self.frames_in += 1
+                session.frames_in += 1
+                node.handle_device_frame(frame, self.transport)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self.sessions.pop(node_id, None)
+            self.nanocloud.nodes.pop(node_id, None)
+            self.nanocloud.broker.members.pop(node_id, None)
+            self.transport.unregister(node_id)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return float(sorted_values[idx])

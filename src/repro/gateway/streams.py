@@ -1,0 +1,189 @@
+"""Gateway-side device representation: a MobileNode fed by a socket.
+
+A connected device is represented inside the NanoCloud by a
+:class:`GatewayNode` — a :class:`repro.middleware.node.MobileNode`
+whose ``handle_command`` override answers broker SENSE_COMMANDs from
+the device's *pushed* readings (stream mode) or by forwarding the
+command over the socket and replying when the device reports back (poll
+mode).  The round driver calls ``handle_command(message, env, bus)``
+exactly as it does for simulated nodes, so the driver itself runs
+unmodified: the only thing that changed is where the reading comes
+from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from ..network.bus import MessageBus
+from ..network.message import Message, MessageKind
+from ..sensors.base import Environment, NodeState
+from ..middleware.node import MobileNode
+
+__all__ = ["DeviceReading", "GatewayNode", "STREAM_MODES"]
+
+#: ``stream``: the device pushes readings at its own cadence and the
+#: node answers commands from the freshest cached one.  ``poll``: the
+#: node forwards each command to the device and replies only when the
+#: device reports — full round-trip latency, honest but slower.
+STREAM_MODES = ("stream", "poll")
+
+
+@dataclass
+class DeviceReading:
+    """The most recent measurement a device pushed up its stream."""
+
+    value: float
+    noise_std: float
+    at: float  # gateway wall-clock seconds (WallClock.now)
+
+
+class GatewayNode(MobileNode):
+    """A live device's stand-in inside the NanoCloud.
+
+    Parameters
+    ----------
+    node_id / sensor_name:
+        Bus address and the field this device measures.
+    send_json:
+        Byte-free uplink to the device: called with a JSON-serialisable
+        dict, the gateway wraps it in a WebSocket text frame.
+    now_fn:
+        The gateway's clock (``WallClock.now``) for staleness checks.
+    mode:
+        One of :data:`STREAM_MODES`.
+    max_staleness_s:
+        Stream mode: a cached reading older than this is refused
+        (``ok=False``) so the broker rotates to a live candidate rather
+        than solving on dead data.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        sensor_name: str,
+        *,
+        send_json: Callable[[dict], None],
+        now_fn: Callable[[], float],
+        mode: str = "stream",
+        max_staleness_s: float = 5.0,
+        state: NodeState | None = None,
+    ) -> None:
+        if mode not in STREAM_MODES:
+            raise ValueError(f"unknown stream mode {mode!r}")
+        super().__init__(node_id, sensors={}, state=state)
+        self.sensor_name = sensor_name
+        self.send_json = send_json
+        self.now_fn = now_fn
+        self.mode = mode
+        self.max_staleness_s = max_staleness_s
+        self.latest: DeviceReading | None = None
+        self.pending_command: Message | None = None
+        self.readings_received = 0
+        self.commands_answered = 0
+        self.commands_refused = 0
+
+    # -- socket -> node ------------------------------------------------
+
+    def handle_device_frame(self, data: dict, bus: MessageBus) -> None:
+        """Process one decoded JSON frame from the device."""
+        kind = data.get("type")
+        if kind == "reading":
+            self.latest = DeviceReading(
+                value=float(data["value"]),
+                noise_std=float(data.get("noise_std", 0.0)),
+                at=self.now_fn(),
+            )
+            self.readings_received += 1
+            if self.mode == "poll" and self.pending_command is not None:
+                command, self.pending_command = self.pending_command, None
+                self._reply(command, self.latest, bus)
+        elif kind == "move":
+            self.state.x = float(data["x"])
+            self.state.y = float(data["y"])
+        elif kind == "refuse" and self.pending_command is not None:
+            command, self.pending_command = self.pending_command, None
+            self._refuse(command, bus)
+
+    # -- broker -> node (the round driver's hook) ----------------------
+
+    def handle_command(
+        self, command: Message, env: Environment, bus: MessageBus
+    ) -> Message | None:
+        """Answer a SENSE_COMMAND from the live stream (or forward it)."""
+        if command.kind is not MessageKind.SENSE_COMMAND:
+            raise ValueError(f"not a sense command: {command.kind}")
+        sensor_name = command.payload["sensor"]
+        self.send_json(
+            {
+                "type": "command",
+                "sensor": sensor_name,
+                "grid_index": command.payload.get("grid_index"),
+            }
+        )
+        if sensor_name != self.sensor_name:
+            return self._refuse(command, bus)
+        if self.mode == "poll":
+            # Reply deferred until the device reports (or the broker's
+            # per-command timeout rotates to another candidate).
+            self.pending_command = command
+            return None
+        reading = self.latest
+        if (
+            reading is None
+            or self.now_fn() - reading.at > self.max_staleness_s
+        ):
+            return self._refuse(command, bus)
+        return self._reply(command, reading, bus)
+
+    def _reply(
+        self, command: Message, reading: DeviceReading, bus: MessageBus
+    ) -> Message:
+        self.audit.record(self.sensor_name, was_shared=True)
+        self.commands_answered += 1
+        reply = command.reply(
+            MessageKind.SENSE_REPORT,
+            {
+                "ok": True,
+                "sensor": self.sensor_name,
+                "value": reading.value,
+                "noise_std": reading.noise_std,
+                "grid_index": command.payload.get("grid_index"),
+            },
+            payload_values=2,
+        )
+        bus.send(reply, strict=False)
+        return reply
+
+    def _refuse(self, command: Message, bus: MessageBus) -> Message:
+        self.audit.record(self.sensor_name, was_shared=False)
+        self.commands_refused += 1
+        reply = command.reply(
+            MessageKind.SENSE_REPORT,
+            {"ok": False, "sensor": command.payload["sensor"]},
+            payload_values=1,
+        )
+        bus.send(reply, strict=False)
+        return reply
+
+    def snapshot(self) -> dict[str, object]:
+        """Per-device telemetry for the gateway's /stats endpoint."""
+        return {
+            "node_id": self.node_id,
+            "mode": self.mode,
+            "readings": self.readings_received,
+            "answered": self.commands_answered,
+            "refused": self.commands_refused,
+            "position": [self.state.x, self.state.y],
+        }
+
+
+def parse_device_frame(raw: bytes | str) -> dict | None:
+    """Decode one device text frame; ``None`` when it isn't clean JSON."""
+    try:
+        data = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return data if isinstance(data, dict) else None

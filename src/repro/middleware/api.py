@@ -16,6 +16,7 @@ import numpy as np
 from ..context.group import GroupContext
 from ..core import metrics
 from ..fields.field import SpatialField
+from ..network.bus import MessageBus
 from ..sensors.base import Environment, SensorReading
 from .config import BrokerConfig, HierarchyConfig
 from .hierarchy import GlobalEstimate, Hierarchy
@@ -38,6 +39,14 @@ class SenseDroid:
         Deployment shape and reconstruction configuration.
     store_path:
         SQLite path for the data log (default in-memory).
+    transport:
+        Message transport the deployment rides — any
+        :class:`repro.network.transport.Transport` backend (the
+        in-process :class:`~repro.network.transport.SimTransport`, the
+        socket-facing
+        :class:`~repro.network.asyncio_transport.AsyncioTransport`, or a
+        plain :class:`~repro.network.bus.MessageBus`).  ``None`` builds
+        a private synchronous bus, the seed behaviour.
     """
 
     def __init__(
@@ -50,6 +59,7 @@ class SenseDroid:
         criticality: np.ndarray | None = None,
         store_path: str = ":memory:",
         heterogeneous: bool = True,
+        transport: MessageBus | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if sensor_name not in env.fields:
@@ -68,6 +78,7 @@ class SenseDroid:
             sensor_name=sensor_name,
             criticality=criticality,
             heterogeneous=heterogeneous,
+            bus=transport,
             rng=rng,
         )
         self.store = DataStore(store_path)

@@ -153,6 +153,46 @@ class LocalCloud:
                 )
             )
 
+    @classmethod
+    def from_nanoclouds(
+        cls,
+        lc_id: str,
+        bus: MessageBus,
+        nanoclouds: list[NanoCloud],
+        *,
+        config: BrokerConfig | None = None,
+        uplink: LinkModel = WIFI,
+    ) -> "LocalCloud":
+        """Assemble a LocalCloud around pre-built NanoClouds.
+
+        The constructor always scatters fresh synthetic nodes; a
+        deployment whose membership arrives dynamically — the ingestion
+        gateway, whose nodes are live devices joining over sockets —
+        builds its NanoClouds first (possibly with zero nodes) and wraps
+        them here.  Zone geometry is derived from the broker columns:
+        widths are summed, heights must agree.
+        """
+        if not nanoclouds:
+            raise ValueError("at least one NanoCloud is required")
+        heights = {nc.broker.zone_height for nc in nanoclouds}
+        if len(heights) != 1:
+            raise ValueError(
+                "NanoCloud columns must share one zone height, got "
+                f"{sorted(heights)}"
+            )
+        lc = cls.__new__(cls)
+        lc.lc_id = lc_id
+        lc.head_address = f"{lc_id}/head"
+        lc.bus = bus
+        lc.config = config or nanoclouds[0].broker.config
+        lc.zone_width = sum(nc.broker.zone_width for nc in nanoclouds)
+        lc.zone_height = heights.pop()
+        lc.origin = nanoclouds[0].origin
+        lc.uplink = uplink
+        bus.register(lc.head_address, uplink)
+        lc.nanoclouds = list(nanoclouds)
+        return lc
+
     @property
     def n_nodes(self) -> int:
         return sum(nc.n_nodes for nc in self.nanoclouds)

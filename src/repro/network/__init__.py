@@ -1,6 +1,8 @@
-"""Network substrate: messages, metered pub/sub bus, link models,
-topologies and service discovery."""
+"""Network substrate: messages, pluggable transports (in-process sim
+bus and real asyncio sockets), link models, topologies and service
+discovery."""
 
+from .asyncio_transport import LOOPBACK, AsyncioTransport, TransportClient
 from .bus import Endpoint, MessageBus, TrafficStats
 from .discovery import DiscoveryRegistry, ServiceAnnouncement
 from .faults import (
@@ -14,6 +16,14 @@ from .faults import (
 )
 from .links import BLUETOOTH, GSM, LINKS_BY_NAME, LTE, WIFI, LinkModel
 from .message import Message, MessageKind
+from .frames import (
+    WireDecoder,
+    ZoneReportFrame,
+    decode_wire_body,
+    decode_zone_report,
+    encode_wire,
+    encode_zone_report,
+)
 from .selector import NetworkSelector, SelectionPolicy, SelectionResult
 from .topics import (
     ALL_TOPICS,
@@ -31,10 +41,23 @@ from .topology import (
     star_topology,
 )
 
+from .transport import SimTransport, Transport
+
 __all__ = [
     "Endpoint",
     "MessageBus",
     "TrafficStats",
+    "Transport",
+    "SimTransport",
+    "AsyncioTransport",
+    "TransportClient",
+    "LOOPBACK",
+    "WireDecoder",
+    "ZoneReportFrame",
+    "decode_wire_body",
+    "decode_zone_report",
+    "encode_wire",
+    "encode_zone_report",
     "DiscoveryRegistry",
     "ServiceAnnouncement",
     "CrashSchedule",

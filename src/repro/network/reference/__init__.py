@@ -1,0 +1,11 @@
+"""Frozen pre-refactor network components kept as behavioural oracles.
+
+:mod:`repro.network.reference.bus` is the message bus exactly as it
+shipped before the transport split (PR 8); the Hypothesis pin in
+``tests/network/test_transport_identity.py`` holds
+:class:`repro.network.transport.SimTransport` bit-identical to it.
+"""
+
+from .bus import MessageBus as ReferenceMessageBus
+
+__all__ = ["ReferenceMessageBus"]

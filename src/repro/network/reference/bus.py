@@ -1,4 +1,14 @@
-"""In-process publish/subscribe message bus (the transport substrate).
+"""FROZEN REFERENCE: the pre-transport-refactor message bus, verbatim.
+
+Do not "improve" this module.  It is the behavioural oracle the
+transport refactor is pinned against: ``tests/network/
+test_transport_identity.py`` runs identical seeded deployments on this
+bus and on :class:`repro.network.transport.SimTransport` and requires
+bit-identical estimates and loss accounting (the same oracle pattern
+``repro.core.reference`` provides for the solver engines).  The only
+deltas from the shipped bus at the time of the split are the removal of
+the already-deprecated ``TrafficStats.latency_s`` alias (API surface
+with no behavioural effect) and the relative-import depth.
 
 SenseDroid's real deployments speak MQTT-style brokered pub/sub over
 WiFi/BT/GSM; this bus is the in-process equivalent: endpoints register
@@ -30,9 +40,9 @@ from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from .faults import FaultInjector
-from .links import WIFI, LinkModel
-from .message import Message, MessageKind
+from ..faults import FaultInjector
+from ..links import WIFI, LinkModel
+from ..message import Message, MessageKind
 
 __all__ = ["TrafficStats", "MessageBus", "Endpoint", "DROP_POLICIES"]
 
@@ -69,12 +79,6 @@ _KIND_RANK: dict[MessageKind, int] = {
 #: "crash", "degraded-window", "unreachable") so backpressure is never
 #: mistaken for a hostile channel.
 BACKPRESSURE_REASON = "backpressure"
-
-# TrafficStats.latency_s — tombstone.  The alias (always the *sum* of
-# per-message latencies, never a per-message figure) was deprecated in
-# PR 3, linter-gated to zero internal callers in PR 5 (reprolint
-# RPR007), and removed here.  Read ``latency_sum_s``, or
-# ``mean_latency_s`` for the per-message mean.
 
 
 @dataclass
@@ -123,21 +127,6 @@ class TrafficStats:
         if self.messages == 0:
             return 0.0
         return self.latency_sum_s / self.messages
-
-    def snapshot(self) -> dict[str, object]:
-        """JSON-serializable copy of every counter in this record."""
-        return {
-            "messages": self.messages,
-            "bytes": self.bytes,
-            "transmit_energy_mj": self.transmit_energy_mj,
-            "receive_energy_mj": self.receive_energy_mj,
-            "total_energy_mj": self.total_energy_mj,
-            "latency_sum_s": self.latency_sum_s,
-            "mean_latency_s": self.mean_latency_s,
-            "by_kind": dict(self.by_kind),
-            "losses_by_reason": dict(self.losses_by_reason),
-            "messages_lost": self.messages_lost,
-        }
 
 
 class Endpoint:
@@ -308,34 +297,6 @@ class MessageBus:
     def losses_by_reason(self) -> Counter[str]:
         """Per-reason non-delivery counts (lives on :attr:`stats`)."""
         return self.stats.losses_by_reason
-
-    def stats_snapshot(self) -> dict[str, object]:
-        """One JSON-serializable dict of the bus's traffic accounting.
-
-        The single source of truth is :attr:`stats` (a
-        :class:`TrafficStats`); on top of its counters this aggregates
-        the per-endpoint backpressure figures the OVERLOAD machinery
-        tracks — shed totals, queued backlog and the deepest any inbox
-        ever got.  Served verbatim by the ingestion gateway's ``/stats``
-        endpoint and handy for benches (``json.dumps`` works as is).
-        """
-        endpoints = self._endpoints.values()
-        snapshot = self.stats.snapshot()
-        snapshot.update(
-            {
-                "endpoints": len(self._endpoints),
-                "pending": sum(e.pending() for e in endpoints),
-                "backpressure_drops": sum(
-                    e.dropped_backpressure for e in endpoints
-                ),
-                "inbox_peak": max(
-                    (e.inbox_peak for e in endpoints), default=0
-                ),
-                "latency_mode": self.latency_mode,
-                "deferred": self.deferred,
-            }
-        )
-        return snapshot
 
     # -- clocked transport --------------------------------------------
 

@@ -3,6 +3,7 @@ city-scale struct-of-arrays population core."""
 
 from .clock import Event, SimClock
 from .engine import RoundRecord, SimulationEngine, SimulationResult
+from .wallclock import WallClock
 from .mega import MegaConfig, MegaRoundRecord, MegaSimulation
 from .population import NodePopulation, PopulationConfig
 from .scenario import (
@@ -16,6 +17,7 @@ from .scenario import (
 __all__ = [
     "Event",
     "SimClock",
+    "WallClock",
     "RoundRecord",
     "SimulationEngine",
     "SimulationResult",

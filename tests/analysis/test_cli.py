@@ -76,8 +76,10 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RPR001", "RPR007", "wall-clock", "solve-purity"):
+        for rule in ("RPR001", "RPR008", "wall-clock", "solve-purity"):
             assert rule in out
+        # RPR007 retired with the latency_s alias (PR 8).
+        assert "RPR007" not in out
 
 
 class TestJsonFormat:

@@ -390,24 +390,26 @@ class TestRPR006MutableDefault:
         assert _rules(findings, suppressed=True) == ["RPR006"]
 
 
-class TestRPR007DeprecatedLatency:
-    def test_stats_chain_fires(self):
-        findings = _lint(
-            """
-            def f(bus):
-                return bus.stats.latency_s
-            """
-        )
-        assert _rules(findings, suppressed=False) == ["RPR007"]
+class TestRPR007Retired:
+    """RPR007 gated the TrafficStats.latency_s alias; both the alias
+    and the rule are gone (PR 8), and the id must stay retired."""
 
-    def test_bare_stats_name_fires(self):
+    def test_stats_latency_chain_no_longer_fires(self):
         findings = _lint(
             """
-            def f(stats):
-                return stats.latency_s
+            def f(bus, stats):
+                return bus.stats.latency_s + stats.latency_s
             """
         )
-        assert _rules(findings, suppressed=False) == ["RPR007"]
+        assert findings == []
+
+    def test_rule_id_is_not_selectable(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="RPR007"):
+            _lint("x = 1\n", select=["RPR007"])
+        with pytest.raises(ValueError, match="deprecated-latency-s"):
+            _lint("x = 1\n", select=["deprecated-latency-s"])
 
     def test_replacement_fields_allowed(self):
         findings = _lint(
@@ -418,23 +420,42 @@ class TestRPR007DeprecatedLatency:
         )
         assert findings == []
 
-    def test_unrelated_receiver_allowed(self):
+
+class TestRPR002RealtimeAllowlist:
+    """The sanctioned realtime modules may read the wall clock."""
+
+    _SOURCE = """
+        import time
+
+        def f():
+            return time.monotonic()
+        """
+
+    def test_ordinary_module_fires(self):
+        findings = _lint(self._SOURCE, path="src/repro/sim/clock.py")
+        assert _rules(findings, suppressed=False) == ["RPR002"]
+
+    def test_wallclock_module_allowlisted(self):
+        findings = _lint(self._SOURCE, path="src/repro/sim/wallclock.py")
+        assert findings == []
+
+    def test_asyncio_transport_allowlisted(self):
         findings = _lint(
-            """
-            def f(link):
-                return link.latency_s
-            """
+            self._SOURCE, path="src/repro/network/asyncio_transport.py"
         )
         assert findings == []
 
-    def test_pragma_suppresses(self):
+    def test_gateway_package_allowlisted(self):
         findings = _lint(
-            """
-            def f(stats):
-                return stats.latency_s  # reprolint: allow[deprecated-latency-s]
-            """
+            self._SOURCE, path="src/repro/gateway/server.py"
         )
-        assert _rules(findings, suppressed=True) == ["RPR007"]
+        assert findings == []
+
+    def test_lookalike_module_is_not_allowlisted(self):
+        findings = _lint(
+            self._SOURCE, path="src/repro/sim/wallclock_helpers.py"
+        )
+        assert _rules(findings, suppressed=False) == ["RPR002"]
 
 
 class TestRPR008RawInbox:
@@ -717,7 +738,8 @@ class TestTreeIsClean:
             "RPR004",
             "RPR005",
             "RPR006",
-            "RPR007",
+            # RPR007 retired with the latency_s alias (PR 8); the id
+            # stays reserved and must never be reused.
             "RPR008",
             "RPR009",
         }

@@ -1,0 +1,159 @@
+"""Unit tests for the hand-rolled HTTP/WebSocket framing layer.
+
+The container ships no websocket library, so :mod:`repro.gateway.
+protocol` implements RFC 6455 itself; these tests pin it against the
+RFC's own vectors and the frame-size edge cases.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.gateway import protocol
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _reader_for(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+async def _decode(data: bytes):
+    return await protocol.ws_read_message(await _reader_for(data))
+
+
+class TestHandshake:
+    def test_accept_key_matches_rfc_vector(self):
+        # RFC 6455 section 1.3's worked example.
+        assert (
+            protocol.websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_handshake_response_carries_accept(self):
+        response = protocol.ws_handshake_response(
+            "dGhlIHNhbXBsZSBub25jZQ=="
+        ).decode("latin-1")
+        assert response.startswith("HTTP/1.1 101 ")
+        assert "Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in (
+            response
+        )
+
+
+class TestHttpParsing:
+    def test_get_with_query(self):
+        raw = (
+            b"GET /sensor/connect?type=temperature&x=3&mode=poll "
+            b"HTTP/1.1\r\nHost: gw\r\nUpgrade: WebSocket\r\n"
+            b"Connection: keep-alive, Upgrade\r\n\r\n"
+        )
+
+        async def scenario():
+            return await protocol.read_http_request(
+                await _reader_for(raw)
+            )
+
+        request = _run(scenario())
+        assert request.method == "GET"
+        assert request.path == "/sensor/connect"
+        assert request.query == {
+            "type": "temperature", "x": "3", "mode": "poll",
+        }
+        assert request.header("host") == "gw"
+        assert request.wants_websocket
+
+    def test_body_read_by_content_length(self):
+        raw = (
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+
+        async def scenario():
+            return await protocol.read_http_request(
+                await _reader_for(raw)
+            )
+
+        request = _run(scenario())
+        assert request.method == "POST"
+        assert request.body == b"abcd"
+
+    def test_garbage_returns_none(self):
+        async def scenario():
+            return await protocol.read_http_request(
+                await _reader_for(b"\x00\x01 nonsense, no terminator")
+            )
+
+        assert _run(scenario()) is None
+
+    def test_http_response_shape(self):
+        raw = protocol.http_response(404, b'{"error":"not found"}')
+        head, body = raw.split(b"\r\n\r\n", 1)
+        assert head.startswith(b"HTTP/1.1 404 Not Found")
+        assert b"Content-Length: 21" in head
+        assert b"Connection: close" in head
+        assert body == b'{"error":"not found"}'
+
+
+class TestFrames:
+    @pytest.mark.parametrize("size", [0, 5, 125, 126, 300, 70_000])
+    @pytest.mark.parametrize("mask", [False, True])
+    def test_encode_decode_all_length_forms(self, size, mask):
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+        frame = protocol.ws_encode(
+            payload,
+            opcode=protocol.OP_BINARY,
+            mask=mask,
+            rng=random.Random(7),
+        )
+        assert _run(_decode(frame)) == (protocol.OP_BINARY, payload)
+
+    def test_text_round_trip(self):
+        frame = protocol.ws_encode('{"type":"reading","value":20.5}')
+        opcode, payload = _run(_decode(frame))
+        assert opcode == protocol.OP_TEXT
+        assert payload == b'{"type":"reading","value":20.5}'
+
+    def test_masked_frame_is_masked_on_the_wire(self):
+        payload = b"sensitive"
+        frame = protocol.ws_encode(
+            payload, mask=True, rng=random.Random(3)
+        )
+        assert payload not in frame  # masked bytes differ from payload
+        assert _run(_decode(frame))[1] == payload
+
+    def test_seeded_masks_replay(self):
+        a = protocol.ws_encode(b"x", mask=True, rng=random.Random(5))
+        b = protocol.ws_encode(b"x", mask=True, rng=random.Random(5))
+        assert a == b
+
+    def test_close_frame_returns_none(self):
+        frame = protocol.ws_encode(b"", opcode=protocol.OP_CLOSE)
+        assert _run(_decode(frame)) is None
+
+    def test_eof_returns_none(self):
+        assert _run(_decode(b"")) is None
+
+    def test_ping_returned_to_caller(self):
+        frame = protocol.ws_encode(b"hb", opcode=protocol.OP_PING)
+        assert _run(_decode(frame)) == (protocol.OP_PING, b"hb")
+
+    def test_fragmented_message_reassembled(self):
+        # Hand-build TEXT(FIN=0) + CONT(FIN=1): 0x01 = text, no FIN.
+        first = bytes([0x01, 3]) + b"abc"
+        final = bytes([0x80 | protocol.OP_CONT, 3]) + b"def"
+        assert _run(_decode(first + final)) == (
+            protocol.OP_TEXT, b"abcdef",
+        )
+
+    def test_oversized_message_rejected(self):
+        huge = protocol.MAX_WS_MESSAGE_BYTES + 1
+        header = bytes([0x80 | protocol.OP_BINARY, 127]) + huge.to_bytes(
+            8, "big"
+        )
+        assert _run(_decode(header)) is None

@@ -311,50 +311,73 @@ class TestDeferredDelivery:
         assert bus.stats.messages == 2
 
 
-class TestLatencySDeprecation:
-    def _stats(self):
+class TestLatencySTombstone:
+    """``TrafficStats.latency_s`` is gone (deprecated PR 3, linter-gated
+    PR 5, removed PR 8).  Accessing it must fail like any other unknown
+    attribute — no alias, no warning machinery left behind."""
+
+    def test_attribute_is_gone(self):
         stats = TrafficStats()
         stats.latency_sum_s = 1.25
-        return stats
-
-    def test_first_access_warns_exactly_once_per_process(self, monkeypatch):
-        import repro.network.bus as bus_mod
-
-        monkeypatch.setattr(bus_mod, "_LATENCY_S_WARNED", False)
-        stats = self._stats()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            value = stats.latency_s
-            # Repeat access on this and other objects stays silent.
+        with pytest.raises(AttributeError):
             _ = stats.latency_s
-            _ = self._stats().latency_s
-        assert value == stats.latency_sum_s
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "latency_sum_s" in str(deprecations[0].message)
+        assert not hasattr(TrafficStats, "latency_s")
 
-    def test_no_internal_caller_reads_the_alias(self):
-        # The deprecation is finished: reprolint RPR007 holds the whole
-        # shipped package at zero `.stats.latency_s` reads (CI runs the
-        # same gate via `make lint`).
-        from pathlib import Path
-
-        import repro
-        from repro.analysis.reprolint import lint_paths
-
-        findings, _ = lint_paths(
-            [Path(repro.__file__).parent], select=["deprecated-latency-s"]
-        )
-        assert [f for f in findings if not f.suppressed] == []
-
-    def test_alias_value_tracks_sum(self, monkeypatch):
+    def test_no_warning_machinery_left(self):
         import repro.network.bus as bus_mod
 
-        monkeypatch.setattr(bus_mod, "_LATENCY_S_WARNED", True)
-        stats = self._stats()
-        stats.latency_sum_s += 0.75
+        assert not hasattr(bus_mod, "_LATENCY_S_WARNED")
+
+    def test_replacements_survive(self):
+        stats = TrafficStats()
+        stats.latency_sum_s = 2.0
+        stats.messages = 4
+        assert stats.latency_sum_s == pytest.approx(2.0)
+        assert stats.mean_latency_s == pytest.approx(0.5)
+
+    def test_no_deprecation_warning_on_normal_use(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert stats.latency_s == pytest.approx(2.0)
+            stats = TrafficStats()
+            stats.latency_sum_s += 0.75
+            _ = stats.mean_latency_s
+
+
+class TestStatsSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        bus = MessageBus()
+        bus.register("a", WIFI)
+        bus.register("b", BLUETOOTH)
+        bus.send(_msg("a", "b"))
+        snapshot = bus.stats_snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["messages"] == 1
+        assert decoded["endpoints"] == 2
+        assert decoded["pending"] == 1
+        assert decoded["latency_mode"] == "zero"
+        assert decoded["deferred"] is False
+
+    def test_snapshot_counts_backpressure_and_peaks(self):
+        bus = MessageBus(inbox_capacity=1)
+        bus.register("a")
+        bus.register("b")
+        bus.send(_msg("a", "b"))
+        bus.send(_msg("a", "b"))  # overflows the 1-deep inbox
+        snapshot = bus.stats_snapshot()
+        assert snapshot["backpressure_drops"] == 1
+        assert snapshot["inbox_peak"] == 1
+        assert snapshot["losses_by_reason"] == {"backpressure": 1}
+        assert snapshot["messages_lost"] == 1
+
+    def test_snapshot_tracks_traffic_stats_verbatim(self):
+        bus = MessageBus()
+        bus.register("a", WIFI)
+        bus.register("b", WIFI)
+        for _ in range(3):
+            bus.send(_msg("a", "b"))
+        snapshot = bus.stats_snapshot()
+        reference = bus.stats.snapshot()
+        for key, value in reference.items():
+            assert snapshot[key] == value

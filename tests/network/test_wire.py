@@ -1,0 +1,151 @@
+"""Wire codec tests: length-prefixed JSON frames for socket transports.
+
+The codec (:mod:`repro.network.frames`) carries :class:`Message` objects
+— numpy arrays and :class:`ZoneReportFrame` payloads included — across
+real TCP streams via ``encode_wire`` / :class:`WireDecoder`.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.network.frames import (
+    MAX_WIRE_FRAME_BYTES,
+    WireDecoder,
+    ZoneReportFrame,
+    decode_wire_body,
+    encode_wire,
+)
+from repro.network.message import Message, MessageKind
+
+
+def _msg(payload, *, kind=MessageKind.SENSE_REPORT, payload_values=3):
+    return Message(
+        kind=kind,
+        source="nc0/node1",
+        destination="nc0/broker",
+        payload=payload,
+        payload_values=payload_values,
+        timestamp=12.5,
+    )
+
+
+def _round_trip(message):
+    frame = encode_wire(message)
+    (decoded,) = WireDecoder().feed(frame)
+    return decoded
+
+
+class TestRoundTrip:
+    def test_scalar_payload(self):
+        message = _msg({"value": 21.5, "noise_std": 0.5, "ok": True,
+                        "grid_index": 7, "name": "temperature",
+                        "missing": None})
+        decoded = _round_trip(message)
+        assert decoded.kind is message.kind
+        assert decoded.source == message.source
+        assert decoded.destination == message.destination
+        assert decoded.timestamp == message.timestamp
+        assert decoded.payload_values == message.payload_values
+        assert decoded.payload == message.payload
+        assert decoded.payload["ok"] is True
+
+    def test_fresh_message_id_on_decode(self):
+        message = _msg({"v": 1})
+        decoded = _round_trip(message)
+        assert decoded.message_id != message.message_id
+
+    def test_ndarray_payload_bit_exact_and_readonly(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4) * np.pi
+        decoded = _round_trip(_msg({"grid": arr}))
+        out = decoded.payload["grid"]
+        assert out.dtype == arr.dtype
+        assert np.array_equal(out, arr)
+        assert not out.flags.writeable
+
+    def test_nested_structures(self):
+        payload = {
+            "rows": [np.array([1, 2, 3], dtype=np.int32), "x", 4],
+            "meta": {"inner": {"arr": np.zeros(2)}},
+        }
+        decoded = _round_trip(_msg(payload))
+        assert np.array_equal(
+            decoded.payload["rows"][0], np.array([1, 2, 3])
+        )
+        assert decoded.payload["rows"][1:] == ["x", 4]
+        assert np.array_equal(
+            decoded.payload["meta"]["inner"]["arr"], np.zeros(2)
+        )
+
+    def test_numpy_scalars_lowered(self):
+        decoded = _round_trip(
+            _msg({"f": np.float64(1.5), "i": np.int64(3),
+                  "b": np.bool_(True)})
+        )
+        assert decoded.payload == {"f": 1.5, "i": 3, "b": True}
+        assert type(decoded.payload["i"]) is int
+        assert type(decoded.payload["b"]) is bool
+
+    def test_zone_report_frame_payload(self):
+        frame = ZoneReportFrame(
+            zone_id=2,
+            round_index=9,
+            node_ids=np.array([4, 7, 11], dtype=np.int64),
+            values=np.array([20.5, 21.0, 19.75]),
+            noise_stds=np.array([0.5, 0.5, 0.25]),
+        )
+        decoded = _round_trip(
+            _msg({"frame": frame}, kind=MessageKind.AGGREGATE)
+        )
+        out = decoded.payload["frame"]
+        assert isinstance(out, ZoneReportFrame)
+        assert out.zone_id == 2 and out.round_index == 9
+        assert np.array_equal(out.node_ids, frame.node_ids)
+        assert np.array_equal(out.values, frame.values)
+        assert np.array_equal(out.noise_stds, frame.noise_stds)
+        assert not out.values.flags.writeable
+
+
+class TestWireDecoder:
+    def test_byte_at_a_time_feed(self):
+        message = _msg({"grid": np.arange(6.0)})
+        frame = encode_wire(message)
+        decoder = WireDecoder()
+        out = []
+        for i in range(len(frame)):
+            out.extend(decoder.feed(frame[i : i + 1]))
+        assert len(out) == 1
+        assert np.array_equal(out[0].payload["grid"], np.arange(6.0))
+        assert decoder.buffered == 0
+
+    def test_multiple_frames_in_one_feed(self):
+        frames = b"".join(
+            encode_wire(_msg({"i": i})) for i in range(5)
+        )
+        decoded = WireDecoder().feed(frames)
+        assert [m.payload["i"] for m in decoded] == list(range(5))
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_wire(_msg({"i": 1}))
+        decoder = WireDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.buffered == len(frame) - 1
+        (message,) = decoder.feed(frame[-1:])
+        assert message.payload == {"i": 1}
+
+    def test_oversized_header_rejected(self):
+        decoder = WireDecoder()
+        bogus = struct.pack(">I", MAX_WIRE_FRAME_BYTES + 1)
+        with pytest.raises(ValueError, match="exceeds"):
+            decoder.feed(bogus)
+
+    def test_decode_wire_body_defaults(self):
+        body = (
+            b'{"kind":"sense_command","source":"a","destination":"b"}'
+        )
+        message = decode_wire_body(body)
+        assert message.kind is MessageKind.SENSE_COMMAND
+        assert message.payload == {}
+        assert message.payload_values == 1
+        assert message.timestamp == 0.0

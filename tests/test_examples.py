@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "spacetime_window.py",
     "byzantine_zone.py",
     "overload_zone.py",
+    "live_gateway.py",
 ]
 
 
@@ -49,6 +50,7 @@ def test_all_examples_exist():
         "earthquake_response.py",
         "byzantine_zone.py",
         "overload_zone.py",
+        "live_gateway.py",
     }
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present
