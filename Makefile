@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload bench-mega bench-ingest gateway report examples clean
+.PHONY: install test lint hygiene bench bench-perf bench-async bench-rob-byz bench-overload bench-mega bench-ingest bench-rob-gate gateway report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -79,6 +79,13 @@ bench-mega:
 bench-ingest:
 	REPRO_INGEST_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_ingest_gateway.py --benchmark-disable -s
+
+# Smoke-mode gateway-resilience bench: small fleet under the seeded
+# 30%-per-round reconnect storm.  Unset REPRO_ROBGATE_SMOKE for the
+# full >=500-client ROB-GATE series committed in BENCH_ROBGATE.json.
+bench-rob-gate:
+	REPRO_ROBGATE_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_robustness_gateway.py --benchmark-disable -s
 
 # Serve a live ingestion gateway on localhost:8765 (Ctrl-C to stop).
 gateway:

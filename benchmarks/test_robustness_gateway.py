@@ -1,0 +1,263 @@
+"""ROB-GATE — gateway availability under a seeded reconnect storm.
+
+PR 9's acceptance bench pushes the INGEST setup past its knee: the
+seeded :class:`repro.gateway.chaos.ChaosProxy` sits between the fleet
+and the gateway and kills 30% of the live connections *every round*, a
+sustained mass-churn regime no mobile deployment avoids.  Three arms,
+same fleet, same seeds:
+
+- **calm/resilient** — resilience armed, no chaos: the reference p99.
+- **storm/resilient** — resilience armed (resume tokens, ping/pong
+  liveness, idle eviction) and clients redialling with capped jittered
+  backoff + resume replay: the fleet must survive every storm with
+  **zero client deaths**, the zone must serve an estimate in **every
+  round slot** (availability 1.0) with bounded staleness, and fresh
+  round p99 must stay within 2x the calm arm's.
+- **storm/baseline** — the PR-8 seed behavior (resilience off, clients
+  that die with their TCP connection): the fleet decays geometrically
+  under the same storm schedule and ingest collapses — the cliff the
+  resilience layer exists to remove.
+
+Results go to ``benchmarks/results/ROB-GATE.txt`` and
+``BENCH_ROBGATE.json`` at the repo root.  Smoke mode
+(``REPRO_ROBGATE_SMOKE=1``) shrinks the fleet and run time and drops
+the latency-ratio assertion so CI can execute the full fault path on
+shared runners.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+from repro.gateway.chaos import ChaosConfig, ChaosProxy
+from repro.gateway.loadgen import LoadGenerator
+from repro.gateway.server import (
+    GatewayConfig,
+    IngestionGateway,
+    ResilienceConfig,
+)
+
+from _util import record_series
+
+SMOKE = os.environ.get("REPRO_ROBGATE_SMOKE", "") not in ("", "0")
+BENCH_JSON = (
+    Path(__file__).resolve().parent / "results" / "BENCH_ROBGATE.smoke.json"
+    if SMOKE
+    else Path(__file__).resolve().parent.parent / "BENCH_ROBGATE.json"
+)
+
+#: The acceptance point: >=500 concurrent devices in the full run.
+N_CLIENTS = 20 if SMOKE else 500
+DURATION_S = 2.0 if SMOKE else 6.0
+RATE_HZ = 2.0
+ZONE_EDGE = 4 if SMOKE else 16
+PERIOD_S = 0.25 if SMOKE else 0.5
+#: Fraction of live connections the storm kills, once per round.
+STORM_FRACTION = 0.30
+
+RESILIENT = ResilienceConfig(
+    resume_enabled=True,
+    resume_ttl_s=10.0,
+    ping_interval_s=1.0,
+    idle_timeout_s=4.0,
+)
+
+
+def _run_arm(*, resilient: bool, storm: bool) -> dict:
+    """One arm: fresh gateway (+ optional chaos proxy) + seeded fleet."""
+    gateway = IngestionGateway(
+        GatewayConfig(
+            zone_width=ZONE_EDGE,
+            zone_height=ZONE_EDGE,
+            period_s=PERIOD_S,
+            seed=7,
+            resilience=RESILIENT if resilient else ResilienceConfig(),
+        )
+    )
+    # Track worst-case served staleness across every outcome (the
+    # gateway itself only keeps the latest).
+    max_staleness = 0
+    stale_outcomes = 0
+    original_on_complete = gateway.driver.on_complete
+
+    def on_complete(outcome):
+        nonlocal max_staleness, stale_outcomes
+        if outcome.stale:
+            stale_outcomes += 1
+        for estimate in outcome.result.nc_estimates:
+            max_staleness = max(max_staleness, estimate.staleness_rounds)
+        original_on_complete(outcome)
+
+    gateway.driver.on_complete = on_complete
+
+    async def scenario():
+        await gateway.start()
+        proxy = None
+        storm_handle = None
+        port = gateway.port
+        if storm:
+            proxy = ChaosProxy("127.0.0.1", port, ChaosConfig(seed=11))
+            await proxy.start()
+            port = proxy.port
+            storm_handle = gateway.clock.schedule_periodic(
+                PERIOD_S, lambda now: proxy.storm(STORM_FRACTION)
+            )
+        load = LoadGenerator(
+            "127.0.0.1",
+            port,
+            n_clients=N_CLIENTS,
+            rate_hz=RATE_HZ,
+            zone_width=ZONE_EDGE,
+            zone_height=ZONE_EDGE,
+            seed=3,
+            connect_concurrency=128,
+            reconnect=resilient,
+            resume=resilient,
+            backoff_initial_s=0.05,
+            backoff_max_s=0.5,
+        )
+        try:
+            report = await load.run(DURATION_S)
+        finally:
+            if storm_handle is not None:
+                gateway.clock.cancel(storm_handle)
+            if proxy is not None:
+                await proxy.stop()
+        await asyncio.sleep(0.1)  # let aborted sessions tear down
+        stats = gateway.stats()
+        proxy_stats = (
+            {
+                "connections_total": proxy.connections_total,
+                "kills": proxy.kills,
+                "storm_kills": proxy.storm_kills,
+            }
+            if proxy is not None
+            else None
+        )
+        await gateway.stop()
+        return report, stats, proxy_stats
+
+    try:
+        report, stats, proxy_stats = gateway.clock.run_until_complete(
+            scenario()
+        )
+    finally:
+        gateway.clock.close()
+
+    completed = stats["rounds_completed"]
+    stale = stats["rounds_stale_served"]
+    failed = stats["rounds_failed"]
+    served = completed + stale
+    # A slot is "unavailable" when its round ran and produced nothing
+    # (failed); skipped firings merge into the in-flight round and are
+    # reported separately, not as outages.
+    availability = served / max(1, served + failed)
+    return {
+        "arm": ("resilient" if resilient else "baseline")
+        + ("+storm" if storm else ""),
+        "resilient": resilient,
+        "storm": storm,
+        "clients": N_CLIENTS,
+        "connected": report.connected,
+        "client_deaths": report.failures,
+        "reconnects": report.reconnects,
+        "resumes": report.resumes,
+        "frames_in": stats["frames_in"],
+        "ingest_msgs_per_s": stats["frames_in"] / DURATION_S,
+        "rounds_completed": completed,
+        "rounds_failed": failed,
+        "rounds_skipped": stats["rounds_skipped"],
+        "rounds_stale_served": stale,
+        "availability": availability,
+        "max_staleness_rounds": max_staleness,
+        "latency_p50_s": stats["round_latency_p50_s"],
+        "latency_p99_s": stats["round_latency_p99_s"],
+        "sessions_resumed": stats["resilience"]["sessions_resumed"],
+        "evictions": stats["resilience"]["evictions"],
+        "proxy": proxy_stats,
+    }
+
+
+def test_robustness_gateway_storm(benchmark):
+    calm = _run_arm(resilient=True, storm=False)
+    resilient = _run_arm(resilient=True, storm=True)
+    baseline = _run_arm(resilient=False, storm=True)
+    runs = [calm, resilient, baseline]
+
+    # -- calm/resilient: the resilience layer must not cost the calm
+    # path anything it can't afford.
+    assert calm["connected"] == N_CLIENTS
+    assert calm["client_deaths"] == 0
+    assert calm["availability"] == 1.0
+    assert 0.0 < calm["latency_p50_s"] <= calm["latency_p99_s"]
+
+    # -- storm/resilient: the acceptance arm.
+    assert resilient["connected"] == N_CLIENTS
+    assert resilient["client_deaths"] == 0  # every device outlived every storm
+    assert resilient["reconnects"] > 0
+    assert resilient["sessions_resumed"] > 0
+    assert resilient["availability"] == 1.0  # an estimate in every slot
+    assert resilient["max_staleness_rounds"] <= 2  # bounded staleness
+    assert resilient["rounds_completed"] >= 2
+
+    # -- storm/baseline: the seed's cliff, on the same storm schedule.
+    assert baseline["client_deaths"] > 0.5 * N_CLIENTS  # fleet decays
+    assert baseline["client_deaths"] > 10 * resilient["client_deaths"]
+    # The surviving trickle ingests a fraction of the resilient arm.
+    assert baseline["frames_in"] < 0.5 * resilient["frames_in"]
+
+    if not SMOKE:
+        assert N_CLIENTS >= 500
+        # Fresh-round latency under the storm stays within 2x calm p99.
+        assert resilient["latency_p99_s"] <= 2.0 * calm["latency_p99_s"]
+        # Rounds keep making their period through 30%/round churn.
+        assert resilient["latency_p99_s"] <= PERIOD_S
+
+    record_series(
+        "ROB-GATE",
+        "gateway availability under a 30%-per-round reconnect storm",
+        [
+            "arm", "clients", "deaths", "reconnects", "resumes",
+            "frames_in", "avail", "stale_max", "p50_s", "p99_s",
+        ],
+        [
+            [
+                run["arm"], run["clients"], run["client_deaths"],
+                run["reconnects"], run["resumes"], run["frames_in"],
+                run["availability"], run["max_staleness_rounds"],
+                run["latency_p50_s"], run["latency_p99_s"],
+            ]
+            for run in runs
+        ],
+        notes=(
+            f"{DURATION_S:.1f}s per arm at {RATE_HZ:.0f} Hz/client, "
+            f"{ZONE_EDGE}x{ZONE_EDGE} zone, {PERIOD_S}s rounds, storm "
+            f"kills {STORM_FRACTION:.0%} of live connections every "
+            "round (seeded RST aborts via ChaosProxy)"
+            + ("; SMOKE sizes" if SMOKE else "")
+        ),
+    )
+    document = {
+        "schema": "bench-robgate/1",
+        "smoke": SMOKE,
+        "clients": N_CLIENTS,
+        "rate_hz_per_client": RATE_HZ,
+        "zone_edge": ZONE_EDGE,
+        "period_s": PERIOD_S,
+        "storm_fraction": STORM_FRACTION,
+        "duration_s": DURATION_S,
+        "runs": runs,
+    }
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(document, indent=2) + "\n")
+
+    # One small timed arm for the pytest-benchmark record.
+    benchmark.pedantic(
+        _run_arm,
+        kwargs={"resilient": True, "storm": False},
+        rounds=1,
+        iterations=1,
+    )

@@ -12,16 +12,31 @@ latest zone estimates (``/zones/latest``) and the transport's traffic
 accounting (``/stats``).  :mod:`repro.gateway.loadgen` replays seeded
 sensor traces from thousands of concurrent WebSocket clients against it
 — the INGEST bench's traffic source.
+
+Production hardening rides the same seam: the server's
+:class:`~repro.gateway.server.ResilienceConfig` (default-off) arms
+ping/pong liveness probing, seeded resume tokens that let reconnecting
+devices reclaim their node identity and trust state, accept-time
+admission control (HTTP 503 / WebSocket close 1013) and per-session
+rate limiting; the load generator grows matching client-side reconnect
+with capped backoff + resume replay; and :mod:`repro.gateway.chaos`
+provides the seeded socket fault injector (connection kills, frame
+delay/truncation, reconnect storms) the ROB-GATE bench drives both
+through.
 """
 
+from .chaos import ChaosConfig, ChaosProxy
 from .loadgen import LoadGenerator, LoadReport
-from .server import GatewayConfig, IngestionGateway
+from .server import GatewayConfig, IngestionGateway, ResilienceConfig
 from .streams import GatewayNode
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
     "GatewayConfig",
     "IngestionGateway",
     "GatewayNode",
     "LoadGenerator",
     "LoadReport",
+    "ResilienceConfig",
 ]

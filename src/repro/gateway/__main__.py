@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 
-from .server import GatewayConfig, IngestionGateway
+from .server import GatewayConfig, IngestionGateway, ResilienceConfig
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +36,32 @@ def main(argv: list[str] | None = None) -> int:
         help="install a fixed sensor every N cells (0 = none)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="issue resume tokens; reconnecting devices reclaim their "
+        "node identity, trust state and cached reading",
+    )
+    parser.add_argument(
+        "--resume-ttl", type=float, default=30.0,
+        help="seconds a disconnected device's state is parked for resume",
+    )
+    parser.add_argument(
+        "--ping-interval", type=float, default=0.0,
+        help="server-initiated WebSocket ping cadence (0 = off)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=0.0,
+        help="evict sessions silent for this many seconds (0 = off)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=0,
+        help="admission cap on live devices; over it, connects get "
+        "HTTP 503 / WebSocket close 1013 (0 = no cap)",
+    )
+    parser.add_argument(
+        "--rate-limit-hz", type=float, default=0.0,
+        help="per-session inbound frame budget (token bucket, 0 = off)",
+    )
     args = parser.parse_args(argv)
     gateway = IngestionGateway(
         GatewayConfig(
@@ -45,6 +71,14 @@ def main(argv: list[str] | None = None) -> int:
             period_s=args.period,
             infrastructure_every=args.infrastructure_every,
             seed=args.seed,
+            resilience=ResilienceConfig(
+                resume_enabled=args.resume,
+                resume_ttl_s=args.resume_ttl,
+                ping_interval_s=args.ping_interval,
+                idle_timeout_s=args.idle_timeout,
+                max_sessions=args.max_sessions,
+                rate_limit_hz=args.rate_limit_hz,
+            ),
         )
     )
     print(

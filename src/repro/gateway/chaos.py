@@ -1,0 +1,289 @@
+"""Socket chaos harness: a seeded TCP fault proxy for the gateway.
+
+:class:`ChaosProxy` sits between WebSocket devices and a running
+:class:`repro.gateway.server.IngestionGateway` and injects the faults a
+mobile fleet actually produces — the connection-robustness regime the
+middleware literature assumes (LC-tier nodes come and go; reports may
+simply never arrive):
+
+- **connection kills** — a per-connection lifetime drawn from a seeded
+  uniform window, enforced with ``transport.abort()`` so both sides see
+  an abrupt RST-style reset, never a polite close;
+- **frame delay** — a seeded per-chunk forward delay, smearing frame
+  arrival the way a congested uplink does;
+- **frame truncation** — with configured probability a chunk is cut in
+  half mid-frame and the connection aborted, leaving the peer's frame
+  decoder holding a partial length-prefixed message;
+- **reconnect storms** — :meth:`ChaosProxy.storm` kills a seeded
+  fraction of the live connections *at once*, the mass-churn event the
+  ROB-GATE bench drives every round.
+
+All draws come from ``random.Random(seed)`` streams (one master for
+storm membership, one per connection for lifetime/delay/truncation), so
+a rerun with the same seed replays the same fault schedule; exact
+wall-clock interleaving naturally still varies with the host.
+
+This module is on reprolint RPR002's sanctioned realtime-module
+allowlist (see ``docs/invariants.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["ChaosConfig", "ChaosProxy"]
+
+_CHUNK = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault mix for one :class:`ChaosProxy` (all default-off).
+
+    Attributes
+    ----------
+    kill_after_s:
+        ``(lo, hi)`` uniform window for a per-connection lifetime;
+        ``None`` disables scheduled kills.  Kills are aborts (RST), not
+        closes — the victim finds out the hard way.
+    kill_prob:
+        Fraction of connections given a scheduled lifetime at all
+        (draws from the connection's own stream).
+    delay_s:
+        ``(lo, hi)`` uniform extra delay applied to every forwarded
+        chunk, both directions.  ``(0, 0)`` forwards immediately.
+    truncate_prob:
+        Per-chunk probability of forwarding only the first half of the
+        chunk and then aborting the connection — a frame cut off
+        mid-write.
+    seed:
+        Master seed; connection ``i`` derives stream ``seed*7919+i``.
+    """
+
+    kill_after_s: tuple[float, float] | None = None
+    kill_prob: float = 1.0
+    delay_s: tuple[float, float] = (0.0, 0.0)
+    truncate_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kill_after_s is not None:
+            lo, hi = self.kill_after_s
+            if not 0.0 <= lo <= hi:
+                raise ValueError("need 0 <= kill_after_s lo <= hi")
+        if not 0.0 <= self.kill_prob <= 1.0:
+            raise ValueError("kill_prob must be in [0, 1]")
+        lo, hi = self.delay_s
+        if not 0.0 <= lo <= hi:
+            raise ValueError("need 0 <= delay_s lo <= hi")
+        if not 0.0 <= self.truncate_prob <= 1.0:
+            raise ValueError("truncate_prob must be in [0, 1]")
+
+
+class _ProxyConn:
+    """One proxied connection: both transports plus its kill timer."""
+
+    def __init__(
+        self,
+        conn_id: int,
+        client_writer: asyncio.StreamWriter,
+        upstream_writer: asyncio.StreamWriter,
+    ) -> None:
+        self.conn_id = conn_id
+        self.client_writer = client_writer
+        self.upstream_writer = upstream_writer
+        self.kill_timer: asyncio.TimerHandle | None = None
+        self.dead = False
+
+    def abort(self) -> None:
+        """RST both halves; idempotent."""
+        if self.dead:
+            return
+        self.dead = True
+        if self.kill_timer is not None:
+            self.kill_timer.cancel()
+        for writer in (self.client_writer, self.upstream_writer):
+            transport = writer.transport
+            if transport is not None and not transport.is_closing():
+                transport.abort()
+
+
+class ChaosProxy:
+    """Seeded fault-injecting TCP proxy in front of one upstream.
+
+    Usage::
+
+        proxy = ChaosProxy("127.0.0.1", gateway.port, ChaosConfig(...))
+        await proxy.start()
+        # point clients at proxy.port instead of gateway.port
+        ...
+        proxy.storm(0.3)        # kill 30% of live connections now
+        await proxy.stop()
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        config: ChaosConfig | None = None,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.config = config or ChaosConfig()
+        self._storm_rng = random.Random(self.config.seed)
+        self._conns: dict[int, _ProxyConn] = {}
+        self._next_id = 0
+        self._server: asyncio.AbstractServer | None = None
+        # Telemetry the chaos tests and the ROB-GATE bench read.
+        self.connections_total = 0
+        self.kills = 0
+        self.storm_kills = 0
+        self.truncations = 0
+        self.upstream_failures = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("chaos proxy is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def active(self) -> int:
+        """Live proxied connections right now."""
+        return len(self._conns)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns.values()):
+            conn.abort()
+        self._conns.clear()
+
+    # -- fault injection -----------------------------------------------
+
+    def storm(self, fraction: float) -> int:
+        """Kill ``ceil(fraction * active)`` live connections at once.
+
+        Victims are drawn from the master storm stream over the sorted
+        connection ids, so a same-seed rerun storms the same cohorts.
+        Returns the number of connections killed.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        live = sorted(self._conns)
+        count = min(len(live), math.ceil(fraction * len(live)))
+        if count == 0:
+            return 0
+        victims = self._storm_rng.sample(live, count)
+        for conn_id in victims:
+            conn = self._conns.pop(conn_id, None)
+            if conn is not None:
+                conn.abort()
+                self.kills += 1
+                self.storm_kills += 1
+        return count
+
+    # -- per-connection plumbing ---------------------------------------
+
+    async def _handle_connection(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        conn_id = self._next_id
+        self._next_id += 1
+        self.connections_total += 1
+        rng = random.Random(self.config.seed * 7919 + conn_id)
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            self.upstream_failures += 1
+            client_writer.close()
+            return
+        conn = _ProxyConn(conn_id, client_writer, upstream_writer)
+        self._conns[conn_id] = conn
+
+        cfg = self.config
+        if (
+            cfg.kill_after_s is not None
+            and rng.random() < cfg.kill_prob
+        ):
+            lifetime = rng.uniform(*cfg.kill_after_s)
+            loop = asyncio.get_running_loop()
+            conn.kill_timer = loop.call_later(
+                lifetime, self._scheduled_kill, conn
+            )
+        try:
+            await asyncio.gather(
+                self._pump(conn, rng, client_reader, upstream_writer),
+                self._pump(conn, rng, upstream_reader, client_writer),
+            )
+        finally:
+            self._drop(conn)
+
+    def _scheduled_kill(self, conn: _ProxyConn) -> None:
+        if conn.dead:
+            return
+        self.kills += 1
+        self._conns.pop(conn.conn_id, None)
+        conn.abort()
+
+    def _drop(self, conn: _ProxyConn) -> None:
+        self._conns.pop(conn.conn_id, None)
+        conn.abort()
+
+    async def _pump(
+        self,
+        conn: _ProxyConn,
+        rng: random.Random,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Forward one direction, applying delay/truncation per chunk."""
+        cfg = self.config
+        lo, hi = cfg.delay_s
+        try:
+            while not conn.dead:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    # Clean EOF on one side: close the other politely so
+                    # ordinary (non-fault) teardown stays ordinary.
+                    if not conn.dead:
+                        writer.write_eof()
+                    return
+                if hi > 0.0:
+                    await asyncio.sleep(rng.uniform(lo, hi))
+                if conn.dead:
+                    return
+                if (
+                    cfg.truncate_prob > 0.0
+                    and len(chunk) > 1
+                    and rng.random() < cfg.truncate_prob
+                ):
+                    self.truncations += 1
+                    self.kills += 1
+                    writer.write(chunk[: len(chunk) // 2])
+                    self._conns.pop(conn.conn_id, None)
+                    conn.abort()
+                    return
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass

@@ -30,11 +30,17 @@ __all__ = [
     "ws_encode",
     "ws_read_message",
     "ws_client_handshake",
+    "ws_close_payload",
+    "ws_parse_close",
     "OP_TEXT",
     "OP_BINARY",
     "OP_CLOSE",
     "OP_PING",
     "OP_PONG",
+    "CLOSE_NORMAL",
+    "CLOSE_GOING_AWAY",
+    "CLOSE_POLICY_VIOLATION",
+    "CLOSE_TRY_AGAIN_LATER",
 ]
 
 #: RFC 6455 section 1.3: the fixed GUID concatenated to the client key.
@@ -53,7 +59,19 @@ MAX_WS_MESSAGE_BYTES = 1 << 20
 
 _MAX_HEADER_BYTES = 16 * 1024
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 101: "Switching Protocols"}
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    503: "Service Unavailable",
+    101: "Switching Protocols",
+}
+
+#: RFC 6455 section 7.4.1 status codes the gateway actually sends.
+CLOSE_NORMAL = 1000
+CLOSE_GOING_AWAY = 1001  # dead-peer / idle eviction
+CLOSE_POLICY_VIOLATION = 1008
+CLOSE_TRY_AGAIN_LATER = 1013  # admission-shed: reconnect after backoff
 
 
 @dataclass
@@ -212,6 +230,32 @@ async def ws_client_handshake(
 # -- websocket frames ------------------------------------------------------
 
 
+def ws_close_payload(code: int, reason: str = "") -> bytes:
+    """Close-frame payload: 2-byte status code + optional UTF-8 reason.
+
+    RFC 6455 section 5.5.1 — the seed gateway dropped the TCP stream
+    without ever sending a close frame; server-initiated disconnects now
+    say *why* (``CLOSE_GOING_AWAY`` for dead-peer eviction,
+    ``CLOSE_TRY_AGAIN_LATER`` for admission shedding) so clients can
+    pick reconnect-now vs back-off.
+    """
+    if not 1000 <= code <= 4999:
+        raise ValueError(f"close code {code} outside RFC 6455 range")
+    return code.to_bytes(2, "big") + reason.encode("utf-8")
+
+
+def ws_parse_close(payload: bytes) -> tuple[int | None, str]:
+    """Decode a close-frame payload into ``(code, reason)``.
+
+    An empty payload is legal (no code given); a malformed reason is
+    replaced rather than raised — peers close with what they have.
+    """
+    if len(payload) < 2:
+        return None, ""
+    code = int.from_bytes(payload[:2], "big")
+    return code, payload[2:].decode("utf-8", errors="replace")
+
+
 def ws_encode(
     payload: bytes | str,
     *,
@@ -248,12 +292,19 @@ def ws_encode(
 
 async def ws_read_message(
     reader: asyncio.StreamReader,
+    *,
+    include_close: bool = False,
 ) -> tuple[int, bytes] | None:
     """Read one complete message; ``None`` on EOF or a close frame.
 
     Reassembles continuation fragments and unmasks client frames.
     Control frames interleaved inside a fragmented message are returned
     to the caller in arrival order (the caller answers pings).
+
+    ``include_close=True`` surfaces a close frame as ``(OP_CLOSE,
+    payload)`` instead of folding it into ``None`` — resilient clients
+    need the status code (:func:`ws_parse_close`) to distinguish an
+    admission shed (1013, back off) from a normal goodbye.
     """
     opcode: int | None = None
     parts: list[bytes] = []
@@ -280,7 +331,7 @@ async def ws_read_message(
         if masked:
             payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
         if frame_op == OP_CLOSE:
-            return None
+            return (OP_CLOSE, payload) if include_close else None
         if frame_op in (OP_PING, OP_PONG):
             return (frame_op, payload)  # control frames never fragment
         if frame_op != OP_CONT:

@@ -84,6 +84,32 @@ class GatewayNode(MobileNode):
         self.readings_received = 0
         self.commands_answered = 0
         self.commands_refused = 0
+        self.detached = False
+        self.frames_dropped_detached = 0
+
+    # -- session parking (resume support) ------------------------------
+
+    def detach(self) -> None:
+        """Disconnect the uplink while the session is parked for resume.
+
+        The node stays a full NanoCloud member — in stream mode it keeps
+        answering SENSE_COMMANDs from its cached reading until that goes
+        stale — but frames bound for the device are counted and dropped
+        instead of written to a dead socket.
+        """
+        self.detached = True
+        original = self.send_json
+
+        def sink(payload: dict) -> None:
+            self.frames_dropped_detached += 1
+
+        sink.__wrapped__ = original  # type: ignore[attr-defined]
+        self.send_json = sink
+
+    def attach(self, send_json: Callable[[dict], None]) -> None:
+        """Reconnect the uplink after a successful resume."""
+        self.detached = False
+        self.send_json = send_json
 
     # -- socket -> node ------------------------------------------------
 
