@@ -1,9 +1,14 @@
 """Command-line front end for reprolint (``python -m repro.analysis``).
 
 Text output is one finding per line (``path:line:col: RPRnnn[name]
-message``); ``--format json`` emits a machine-readable report for CI.
-The exit status is 0 when no unsuppressed findings remain, 1 otherwise,
-and 2 on usage errors.
+message``); ``--format json`` emits a machine-readable report for CI,
+and ``--format github`` emits workflow-command annotations so findings
+attach to the PR diff.  Runs include the whole-program pass (RPR010–
+RPR013) by default; ``--no-whole-program`` restricts to the per-file
+rules.  ``--graph FILE`` dumps the resolved call graph as JSON (``-``
+for stdout) for debugging cross-file findings.  The exit status is 0
+when no unsuppressed findings remain, 1 otherwise, and 2 on usage
+errors.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import json
 import sys
 from typing import Sequence
 
-from .reprolint import RULES, lint_paths
+from .reprolint import RULES, Finding, lint_paths
 
 __all__ = ["main"]
 
@@ -24,7 +29,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "reprolint: invariant-enforcing static analysis for the "
             "SenseDroid reproduction (determinism, sim-time purity, "
-            "parallel-solve purity, shared-cache immutability)."
+            "parallel-solve purity, shared-cache immutability, async "
+            "discipline, seed lineage, pub/sub flow)."
         ),
     )
     parser.add_argument(
@@ -35,7 +41,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="output format (default: text)",
     )
@@ -50,11 +56,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print pragma-suppressed findings (text format)",
     )
     parser.add_argument(
+        "--no-whole-program",
+        action="store_true",
+        help="skip the cross-file rules (RPR010-RPR013)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        default=None,
+        help="dump the resolved call graph as JSON to FILE ('-' for "
+        "stdout) and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
     return parser
+
+
+def _github_annotation(finding: Finding) -> str:
+    """One GitHub workflow-command annotation line per finding.
+
+    Newlines and the characters GitHub treats as command delimiters
+    must be percent-escaped (the documented workflow-command escaping).
+    """
+
+    def esc_data(text: str) -> str:
+        return (
+            text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+
+    def esc_prop(text: str) -> str:
+        return esc_data(text).replace(":", "%3A").replace(",", "%2C")
+
+    level = "warning" if finding.suppressed else "error"
+    title = f"{finding.rule}[{finding.name}]"
+    return (
+        f"::{level} file={esc_prop(finding.path)},"
+        f"line={finding.line},col={finding.col + 1},"
+        f"title={esc_prop(title)}::{esc_data(finding.message)}"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -66,9 +108,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule} {name}: {summary}")
         return 0
 
+    if args.graph is not None:
+        from .project import ProjectModel
+
+        model = ProjectModel(args.paths).load()
+        payload = model.graph_json()
+        if args.graph == "-":
+            print(payload)
+        else:
+            with open(args.graph, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+        return 0
+
     select = args.select.split(",") if args.select else None
     try:
-        findings, scanned = lint_paths(args.paths, select=select)
+        if args.no_whole_program:
+            findings, scanned = lint_paths(args.paths, select=select)
+        else:
+            from .wholeprogram import analyze_paths
+
+            findings, scanned, _model = analyze_paths(
+                args.paths, select=select
+            )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -87,6 +148,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                 },
                 indent=2,
             )
+        )
+    elif args.format == "github":
+        shown = findings if args.show_suppressed else active
+        for finding in shown:
+            print(_github_annotation(finding))
+        print(
+            f"reprolint: {scanned} file(s) scanned, "
+            f"{len(active)} finding(s), {len(suppressed)} suppressed"
         )
     else:
         shown = findings if args.show_suppressed else active

@@ -145,6 +145,33 @@ RULES: dict[str, tuple[str, str]] = {
         "per-shard streams via repro.core.registry.spawn_shard_seeds / "
         "shard_rng in the parent and pass them in",
     ),
+    # RPR010–RPR013 are whole-program rules: they need the cross-file
+    # call graph, so they live in repro.analysis.wholeprogram and only
+    # run through analyze_paths (the CLI default), not lint_source.
+    "RPR010": (
+        "async-blocking",
+        "blocking call reachable (transitively) from a realtime-module "
+        "coroutine; one blocked frame stalls every session on the event "
+        "loop — offload via run_in_executor/to_thread",
+    ),
+    "RPR011": (
+        "transitive-impurity",
+        "solve-phase function reaches (at any call depth) code that "
+        "writes self.*/module state; serial==parallel bit-identity "
+        "needs the whole solve call tree side-effect-free",
+    ),
+    "RPR012": (
+        "seed-lineage",
+        "duplicate literal seed feeding two RNG streams, or an RNG "
+        "object crossing an executor boundary; derive independent "
+        "child streams via SeedSequence.spawn",
+    ),
+    "RPR013": (
+        "pubsub-flow",
+        "topic constant published with no subscriber anywhere in the "
+        "project (or subscribed with no publisher); the pub/sub "
+        "contract needs both ends",
+    ),
 }
 
 #: Parse failures are reported under a pseudo-rule that cannot be

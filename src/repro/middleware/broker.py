@@ -332,7 +332,12 @@ class Broker:
 
     # -- internals ------------------------------------------------------
 
-    def _basis(self) -> np.ndarray | BasisOperator:
+    # The memoised basis write is reachable from solve_round, but it is
+    # idempotent and deterministic (same config -> bit-identical basis)
+    # and each broker is owned by exactly one in-flight solve, so the
+    # cache cannot race or change a result — a documented exception to
+    # solve-phase purity (invariant 11 in docs/invariants.md).
+    def _basis(self) -> np.ndarray | BasisOperator:  # reprolint: allow[transitive-impurity]
         if self._basis_cache is None:
             cfg = self.config
             if cfg.use_prior_basis and self.prior is not None:

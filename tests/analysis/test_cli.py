@@ -116,6 +116,124 @@ class TestJsonFormat:
         assert report["files_scanned"] > 50
 
 
+class TestGithubFormat:
+    def test_annotation_shape_and_exit_code(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            "dirty.py",
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        assert main(["--format", "github", str(path)]) == 1
+        out = capsys.readouterr().out
+        line = [l for l in out.splitlines() if l.startswith("::")][0]
+        assert line.startswith("::error file=")
+        assert "title=RPR002[wall-clock]" in line
+        assert f",line=5,col=12," in line
+        assert "::" in line.split("title=")[1]  # message after ::
+
+    def test_suppressed_findings_become_warnings(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            "pinned.py",
+            """
+            import time
+
+            def f():
+                return time.time()  # reprolint: allow[wall-clock]
+            """,
+        )
+        assert main(["--format", "github", "--show-suppressed", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning file=" in out
+        assert "::error" not in out
+
+    def test_message_newlines_are_escaped(self, tmp_path):
+        from repro.analysis.cli import _github_annotation
+        from repro.analysis.reprolint import Finding
+
+        finding = Finding(
+            rule="RPR001",
+            name="global-rng",
+            path="a:b,c.py",
+            line=3,
+            col=0,
+            message="line one\nline two, 50%",
+        )
+        rendered = _github_annotation(finding)
+        assert "\n" not in rendered
+        assert "%0A" in rendered
+        assert "file=a%3Ab%2Cc.py" in rendered
+        assert "50%25" in rendered
+
+    def test_shipped_tree_emits_no_error_annotations(self, capsys):
+        assert main(["--format", "github", PKG_ROOT]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+
+
+class TestWholeProgram:
+    def test_cross_file_finding_through_cli(self, tmp_path, capsys):
+        """The default CLI run includes RPR010-RPR013: a blocking call
+        inside a gateway coroutine surfaces without any flag."""
+        gateway = tmp_path / "repro" / "gateway"
+        gateway.mkdir(parents=True)
+        for d in (tmp_path / "repro", gateway):
+            (d / "__init__.py").write_text("", encoding="utf-8")
+        (gateway / "server.py").write_text(
+            "import time\n\n\nasync def pump():\n    time.sleep(1)\n",
+            encoding="utf-8",
+        )
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR010[async-blocking]" in out
+
+    def test_no_whole_program_flag_skips_cross_file_rules(
+        self, tmp_path, capsys
+    ):
+        gateway = tmp_path / "repro" / "gateway"
+        gateway.mkdir(parents=True)
+        for d in (tmp_path / "repro", gateway):
+            (d / "__init__.py").write_text("", encoding="utf-8")
+        (gateway / "server.py").write_text(
+            "import time\n\n\nasync def pump():\n    time.sleep(1)\n",
+            encoding="utf-8",
+        )
+        assert main(["--no-whole-program", str(tmp_path)]) == 0
+        assert "RPR010" not in capsys.readouterr().out
+
+    def test_graph_dump_to_stdout(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def f():
+                time.sleep(1)
+            """,
+        )
+        assert main(["--graph", "-", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "mod.f" in payload["functions"]
+        externals = [
+            c.get("external")
+            for c in payload["functions"]["mod.f"]["calls"]
+        ]
+        assert "time.sleep" in externals
+
+    def test_graph_dump_to_file(self, tmp_path, capsys):
+        path = _write(tmp_path, "mod.py", "def f():\n    pass\n")
+        out_file = tmp_path / "graph.json"
+        assert main(["--graph", str(out_file), str(path)]) == 0
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert "mod.f" in payload["functions"]
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_runs(self, tmp_path):
         path = _write(tmp_path, "clean.py", "x = 1\n")

@@ -742,4 +742,25 @@ class TestTreeIsClean:
             # stays reserved and must never be reused.
             "RPR008",
             "RPR009",
+            # RPR010-RPR013 are the whole-program rules (PR 10); they
+            # live in repro.analysis.wholeprogram and only fire through
+            # analyze_paths, never lint_source.
+            "RPR010",
+            "RPR011",
+            "RPR012",
+            "RPR013",
         }
+
+    def test_whole_program_rules_never_fire_per_file(self):
+        """lint_source has no checker for RPR010-RPR013; selecting them
+        alone must yield nothing (they need the cross-file model)."""
+        findings = _lint(
+            """
+            import time
+
+            async def pump():
+                time.sleep(1)
+            """,
+            select=["RPR010", "RPR011", "RPR012", "RPR013"],
+        )
+        assert findings == []
